@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+TRIALS ?= 300
+
+.PHONY: install test bench experiments report clean-cache loc
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	REPRO_TRIALS=20 $(PYTHON) -m pytest tests/ -x
+
+bench:
+	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m repro.experiments all
+
+report:
+	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m repro.experiments report
+
+clean-cache:
+	rm -rf .repro-cache results
+
+loc:
+	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -1,0 +1,161 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+All four reuse the cached campaigns of the figure benches where
+possible, so they are cheap to re-run after the main harness.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_app, paper_apps
+from repro.experiments.common import (
+    build_predictor,
+    default_trials,
+    measured_campaign,
+    small_campaign,
+)
+from repro.fi.cache import cached_campaign
+from repro.fi.campaign import Deployment
+from repro.model.propagation import PropagationProfile, map_small_to_large
+from repro.model.result import FaultInjectionResult
+from repro.model.similarity import cosine_similarity
+from repro.utils.tables import format_table
+
+TARGET = 64
+
+
+def ablation_alpha(trials=None, seed=0, quiet=False):
+    """Sweep the fine-tuning trigger threshold (paper fixes 20 %)."""
+    trials = default_trials(trials)
+    thresholds = (0.05, 0.20, 0.50, float("inf"))
+    rows = []
+    out = {}
+    for thr in thresholds:
+        errors = []
+        for name in paper_apps():
+            predictor = build_predictor(
+                name, small_nprocs=8, target_nprocs=TARGET, trials=trials, seed=seed
+            )
+            predictor.fine_tune_threshold = thr
+            predicted = predictor.predict(TARGET)
+            measured = FaultInjectionResult.from_campaign(
+                measured_campaign(get_app(name), TARGET, trials, seed)
+            )
+            errors.append(abs(predicted.success - measured.success))
+        avg = sum(errors) / len(errors)
+        out[thr] = avg
+        label = "off (never tune)" if thr == float("inf") else f"{thr:.2f}"
+        rows.append((label, 100 * avg, 100 * max(errors)))
+    if not quiet:
+        print(format_table(
+            ["trigger threshold", "avg error (pp)", "max error (pp)"],
+            rows, title="Ablation — alpha fine-tuning threshold (S=8, p=64)",
+        ))
+    return out
+
+
+def ablation_mapping(trials=None, seed=0, quiet=False):
+    """Eq. 5 group mapping vs linear interpolation of r'.
+
+    Both projections spread the small-scale mass over whole groups, so
+    neither reconstructs the measured 64-rank histogram's concentration
+    at exactly p contaminated ranks — the cosine against the raw
+    profile is moderate for both, with interpolation marginally ahead.
+    This is why the predictor consumes the *group weights* (Eq. 8)
+    rather than the projected per-case vector: at group granularity the
+    agreement is high (Table 2).
+    """
+    trials = default_trials(trials)
+    rows = []
+    out = {}
+    for name in paper_apps():
+        app = get_app(name)
+        small = PropagationProfile.from_campaign(small_campaign(app, 8, trials, seed))
+        large = PropagationProfile.from_campaign(
+            measured_campaign(app, TARGET, trials, seed)
+        )
+        scores = {}
+        for mode in ("group", "interpolate"):
+            projected = map_small_to_large(small, TARGET, mode=mode)
+            scores[mode] = cosine_similarity(
+                projected.as_array(), large.as_array()
+            )
+        out[name] = scores
+        rows.append((name.upper(), scores["group"], scores["interpolate"]))
+    if not quiet:
+        print(format_table(
+            ["Benchmark", "Eq.5 group mapping", "linear interpolation"],
+            rows, title="Ablation — propagation projection mode (cosine vs measured)",
+        ))
+    return out
+
+
+def ablation_prob2(trials=None, seed=0, quiet=False):
+    """Eq. 1 weight source: target-scale profile run vs extrapolation."""
+    trials = default_trials(trials)
+    rows = []
+    out = {}
+    for name in paper_apps():
+        measured = FaultInjectionResult.from_campaign(
+            measured_campaign(get_app(name), TARGET, trials, seed)
+        )
+        errs = {}
+        for mode in ("profile", "extrapolate"):
+            predictor = build_predictor(
+                name, small_nprocs=8, target_nprocs=TARGET,
+                trials=trials, seed=seed, prob2_mode=mode,
+            )
+            errs[mode] = abs(predictor.predict(TARGET).success - measured.success)
+        out[name] = errs
+        rows.append((name.upper(), 100 * errs["profile"], 100 * errs["extrapolate"]))
+    if not quiet:
+        print(format_table(
+            ["Benchmark", "profile-run prob2 (pp)", "extrapolated prob2 (pp)"],
+            rows, title="Ablation — source of the Eq. 1 parallel-unique weight",
+        ))
+    return out
+
+
+def ablation_trials(trials=None, seed=0, quiet=False):
+    """Statistical stability: success rate vs number of tests (§2/§5.1)."""
+    counts = (50, 100, 200, 400)
+    app = get_app("lu")
+    rows = []
+    out = {}
+    for t in counts:
+        res = cached_campaign(app, Deployment(nprocs=8, trials=t, seed=seed + 70_000))
+        fi = FaultInjectionResult.from_campaign(res)
+        lo, hi = fi.success_interval()
+        out[t] = fi.success
+        rows.append((t, fi.success, hi - lo))
+    if not quiet:
+        print(format_table(
+            ["tests", "success rate", "95% CI width"],
+            rows, title="Ablation — statistical stability of one deployment (LU, 8 ranks)",
+        ))
+    return out
+
+
+def test_ablation_alpha(regenerate):
+    out = regenerate(ablation_alpha, "ablation_alpha")
+    assert out[0.20] <= out[float("inf")] + 0.05  # tuning should not hurt
+
+
+def test_ablation_mapping(regenerate):
+    out = regenerate(ablation_mapping, "ablation_mapping")
+    for name, scores in out.items():
+        # both projections are meaningful and land close to each other;
+        # the per-case vector comparison is deliberately harsher than
+        # Table 2's grouped comparison (see ablation_mapping docstring)
+        assert 0.1 <= scores["group"] <= 1.0, name
+        assert abs(scores["group"] - scores["interpolate"]) < 0.15, name
+
+
+def test_ablation_prob2(regenerate):
+    out = regenerate(ablation_prob2, "ablation_prob2")
+    assert all(0 <= e <= 1 for s in out.values() for e in s.values())
+
+
+def test_ablation_trials(regenerate):
+    out = regenerate(ablation_trials, "ablation_trials")
+    rates = list(out.values())
+    assert max(rates) - min(rates) < 0.2  # §5.1: rates stabilize quickly

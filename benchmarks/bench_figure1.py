@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 1 (CG error-propagation profiles)."""
+
+from repro.experiments import figure12
+
+
+def test_figure1_cg(regenerate):
+    out = regenerate(figure12.run, "figure1", apps=("cg",))
+    cg = out["cg"]
+    # paper shape: strongly bimodal (mass at 1 and at all ranks), and the
+    # grouped large-scale profile tracks the small-scale one
+    assert cg["small"][0] > 0
+    assert cg["small"][-1] > 0.3
+    assert cg["cosine"] > 0.9

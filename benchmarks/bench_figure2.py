@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 2 (FT error-propagation profiles)."""
+
+from repro.experiments import figure12
+
+
+def test_figure2_ft(regenerate):
+    out = regenerate(figure12.run, "figure2", apps=("ft",))
+    ft = out["ft"]
+    assert ft["cosine"] > 0.9

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 3 (serial multi-error vs parallel conditional)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(regenerate):
+    out = regenerate(figure3.run, "figure3")
+    for name, curves in out.items():
+        serial = curves["serial"]
+        # more injected errors never help: the serial curve trends down
+        assert serial[0] >= serial[-1] - 0.05, name
+        observed = [v for v in curves["parallel"] if v is not None]
+        assert observed, name

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 5 (serial + 4 ranks predicting 64 ranks)."""
+
+from repro.experiments.figure56 import accuracy_for_small_scale
+
+
+def run_fig5(trials=None, seed=0, quiet=False):
+    from repro.experiments.figure56 import _print_figure
+
+    results = accuracy_for_small_scale(4, trials=trials, seed=seed)
+    if not quiet:
+        _print_figure("Figure 5 — serial + 4 ranks predicting 64 ranks", results)
+    return results
+
+
+def test_figure5(regenerate):
+    out = regenerate(run_fig5, "figure5")
+    errors = [r["error"] for r in out.values()]
+    assert sum(errors) / len(errors) < 0.30  # paper: 8% average, 27% max

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 6 (serial + 8 ranks predicting 64 ranks)."""
+
+from repro.experiments.figure56 import _print_figure, accuracy_for_small_scale
+
+
+def run_fig6(trials=None, seed=0, quiet=False):
+    results = accuracy_for_small_scale(8, trials=trials, seed=seed)
+    if not quiet:
+        _print_figure("Figure 6 — serial + 8 ranks predicting 64 ranks", results)
+    return results
+
+
+def test_figure6(regenerate):
+    out = regenerate(run_fig6, "figure6")
+    errors = [r["error"] for r in out.values()]
+    assert sum(errors) / len(errors) < 0.25  # paper: 7% average, 19% max

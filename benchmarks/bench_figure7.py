@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 7 (predicting 128 MPI processes, CG and FT)."""
+
+from repro.experiments import figure7
+
+
+def test_figure7(regenerate):
+    out = regenerate(figure7.run, "figure7")
+    for label, results in out.items():
+        for name, r in results.items():
+            assert r["error"] < 0.35, (label, name)

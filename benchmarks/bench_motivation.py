@@ -1,0 +1,9 @@
+"""Bench: regenerate the paper's §1 motivation measurements (CG)."""
+
+from repro.experiments import motivation
+
+
+def test_motivation(regenerate):
+    out = regenerate(motivation.run, "motivation")
+    assert out["par4_events"] > out["serial_events"]
+    assert out["injection_time_growth"] > 0

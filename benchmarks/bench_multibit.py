@@ -1,0 +1,12 @@
+"""Bench: extension — model generality under a 2-bit fault pattern."""
+
+from repro.experiments import multibit
+
+
+def test_multibit(regenerate):
+    out = regenerate(multibit.run, "multibit")
+    for name, res in out.items():
+        for bits, r in res.items():
+            assert r["error"] < 0.35, (name, bits)
+        # a 2-bit fault is at least as damaging as a 1-bit fault
+        assert res[2]["measured"] <= res[1]["measured"] + 0.1, name

@@ -1,0 +1,11 @@
+"""Bench: extension — outcome sensitivity to the flip site."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(regenerate):
+    out = regenerate(sensitivity.run, "sensitivity")
+    for name, rep in out.items():
+        bf = rep["bit_field"]
+        # mantissa flips are far more benign than exponent flips
+        assert bf["mantissa"] > bf["exponent"], name

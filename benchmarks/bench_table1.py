@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (parallel-unique computation share)."""
+
+from repro.experiments import table1
+
+
+def test_table1(regenerate):
+    out = regenerate(table1.run, "table1")
+    fr = out["fractions"]
+    # paper shape: FT largest; MG/LU/PENNANT zero; CG/MiniFE small nonzero
+    assert fr["ft"] > fr["cg"] > 0
+    assert fr["mg"] == fr["lu"] == fr["pennant"] == 0.0
+    assert fr["minife"] > fr["minife.large"] > 0
+    assert fr["cg"] > fr["cg.classb"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 2 (cosine similarity between scales)."""
+
+from repro.experiments import table2
+
+
+def test_table2(regenerate):
+    out = regenerate(table2.run, "table2")
+    values = out["values"]
+    # paper shape: 8V64 similarities are uniformly high
+    for name in ("cg", "ft", "mg", "lu", "minife", "pennant"):
+        assert values[f"{name} (8V64)"] > 0.8, name

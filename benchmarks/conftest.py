@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures (or
+an ablation).  ``pytest-benchmark`` records the wall time of the full
+regeneration; the actual rows are printed and also written under
+``results/`` so ``pytest benchmarks/ --benchmark-only | tee ...`` leaves
+a complete record.
+
+Trial counts come from ``$REPRO_TRIALS`` (default 300; the paper uses
+4000).  Campaigns are cached on disk (``.repro-cache/``), so benches
+that share deployments — the serial samples reused by Figs. 5-8, the
+measured 64-rank campaigns — only pay once per cache lifetime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def regenerate(benchmark, request):
+    """Run one experiment once under the benchmark timer, tee its table."""
+
+    def _run(func, name: str, **kwargs):
+        captured: dict = {}
+
+        def target():
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                captured["result"] = func(**kwargs)
+            captured["text"] = buf.getvalue()
+
+        benchmark.pedantic(target, rounds=1, iterations=1)
+        text = captured.get("text", "")
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        return captured["result"]
+
+    return _run

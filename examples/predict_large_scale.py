@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's headline workflow: predict large-scale resilience.
+
+Builds every model input from *cheap* executions — serial multi-error
+injections plus one small-scale campaign — then predicts the
+fault-injection result at the target scale (paper Eqs. 1-8).  With
+``--validate`` it also runs the expensive large-scale campaign the model
+is designed to avoid, and reports the prediction error (paper Figs. 5-7).
+
+Usage::
+
+    python examples/predict_large_scale.py --app cg --small 8 --target 64 \
+        --trials 300 --validate
+"""
+
+import argparse
+
+from repro import FaultInjectionResult, get_app
+from repro.experiments.common import build_predictor, measured_campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="cg")
+    parser.add_argument("--small", type=int, default=8,
+                        help="small-scale process count (paper: 4 or 8)")
+    parser.add_argument("--target", type=int, default=64,
+                        help="large-scale process count to predict")
+    parser.add_argument("--trials", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--validate", action="store_true",
+                        help="also measure at the target scale and report error")
+    args = parser.parse_args()
+
+    print(f"assembling model inputs for {args.app!r}: serial samples + "
+          f"{args.small}-rank campaign ({args.trials} tests each) ...")
+    predictor = build_predictor(
+        args.app, small_nprocs=args.small, target_nprocs=args.target,
+        trials=args.trials, seed=args.seed,
+    )
+
+    inputs = predictor.inputs
+    print(f"\nserial samples (x errors -> success rate):")
+    for x, fi in sorted(inputs.serial_samples.items()):
+        print(f"  x={x:3d}: {fi.success:.3f}")
+    profile = predictor._small_profile
+    print(f"small-scale propagation r': "
+          f"{[round(p, 3) for p in profile.probabilities]}")
+    print(f"alpha fine-tuning active: {predictor.fine_tuning_active}")
+    print(f"parallel-unique share: "
+          f"{ {p: round(f, 4) for p, f in inputs.unique_fractions.items()} }")
+
+    predicted = predictor.predict(args.target)
+    print(f"\npredicted at {args.target} ranks: success={predicted.success:.3f} "
+          f"sdc={predicted.sdc:.3f} failure={predicted.failure:.3f}")
+
+    if args.validate:
+        print(f"\nvalidating (running the {args.target}-rank campaign the "
+              f"model lets you skip) ...")
+        measured = FaultInjectionResult.from_campaign(
+            measured_campaign(get_app(args.app), args.target, args.trials, args.seed)
+        )
+        err = abs(predicted.success - measured.success)
+        print(f"measured: success={measured.success:.3f}")
+        print(f"success-rate prediction error: {100 * err:.1f} percentage points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run a fault-injection campaign on one benchmark.
+
+Runs the paper's CG benchmark at 8 simulated MPI ranks, injecting one
+random single-bit flip into a random dynamic FP add/multiply per test,
+and prints the outcome statistics and the error-propagation histogram
+(how many ranks end up contaminated per test — paper Fig. 1a).
+
+Usage::
+
+    python examples/quickstart.py [--trials 300] [--nprocs 8] [--app cg]
+"""
+
+import argparse
+
+from repro import Deployment, FaultInjectionResult, get_app, run_campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="cg", help="benchmark name (see repro.available_apps())")
+    parser.add_argument("--nprocs", type=int, default=8)
+    parser.add_argument("--trials", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    app = get_app(args.app)
+    print(f"running {args.trials} fault-injection tests on {app.name!r} "
+          f"at {args.nprocs} simulated MPI ranks ...")
+    result = run_campaign(
+        app, Deployment(nprocs=args.nprocs, trials=args.trials, seed=args.seed)
+    )
+
+    fi = FaultInjectionResult.from_campaign(result)
+    lo, hi = fi.success_interval()
+    print(f"\nsuccess rate : {fi.success:.3f}  (95% CI [{lo:.3f}, {hi:.3f}])")
+    print(f"SDC rate     : {fi.sdc:.3f}")
+    print(f"failure rate : {fi.failure:.3f}")
+    print(f"injection time: {result.injection_time:.1f}s "
+          f"({1000 * result.injection_time / result.n_trials:.1f} ms/test)")
+
+    print("\nerror propagation (contaminated ranks -> share of tests):")
+    counts = result.propagation_counts()
+    total = sum(counts.values())
+    for n in sorted(counts):
+        share = counts[n] / total
+        print(f"  {n:3d} rank(s): {share:6.1%}  {'#' * int(50 * share)}")
+
+    # where do the harmful flips land? (IEEE-754 field breakdown)
+    from repro.fi.sensitivity import run_sensitivity
+
+    report = run_sensitivity(
+        app, Deployment(nprocs=args.nprocs, trials=min(args.trials, 200),
+                        seed=args.seed + 1)
+    )
+    print("\nsuccess rate by flipped bit field:")
+    for field, rate in report.success_rate_by_bit_field().items():
+        print(f"  {field.value:>8}: {rate:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — reproduction of "Modeling Application Resilience in
+Large-scale Parallel Execution" (Wu et al., ICPP 2018).
+
+The library predicts fault-injection results of an MPI application at
+large scale from injections into serial and small-scale executions.  It
+ships the full stack the paper depends on:
+
+* a deterministic simulated MPI runtime (:mod:`repro.mpisim`),
+* a dual-value traced floating-point layer with value-accurate
+  cross-process contamination tracking (:mod:`repro.taint`),
+* an instruction-level single-bit-flip fault injector
+  (:mod:`repro.fi`),
+* six mini-applications matching the paper's benchmarks
+  (:mod:`repro.apps`),
+* the resilience models — propagation grouping, serial-sample plans,
+  alpha fine-tuning, the Eq. 1/4/8 predictor (:mod:`repro.model`), and
+* one experiment harness per paper table/figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import get_app, Deployment, run_campaign
+
+    cg = get_app("cg")
+    result = run_campaign(cg, Deployment(nprocs=8, trials=500))
+    print(result.success_rate, result.propagation_counts())
+
+    from repro.experiments.common import build_predictor
+    predictor = build_predictor("cg", small_nprocs=8, target_nprocs=64)
+    print(predictor.predict(64))
+"""
+
+from repro.apps import AppSpec, available_apps, get_app, paper_apps
+from repro.errors import (
+    CommunicatorError,
+    ConfigurationError,
+    DeadlockError,
+    FaultActivatedError,
+    InjectionPlanError,
+    ReproError,
+    SimulatedCrashError,
+    SimulatedHangError,
+)
+from repro.fi import (
+    CampaignResult,
+    Deployment,
+    InjectionPlan,
+    Outcome,
+    Tracer,
+    TracerMode,
+    run_campaign,
+    sample_plan,
+)
+from repro.fi.cache import cached_campaign
+from repro.model import (
+    FaultInjectionResult,
+    PredictionInputs,
+    PropagationProfile,
+    ResiliencePredictor,
+    SerialSamplePlan,
+    cosine_similarity,
+    group_histogram,
+    map_small_to_large,
+    prediction_error,
+    result_given_contaminated,
+    rmse,
+)
+from repro.mpisim import Communicator, Scheduler, execute_spmd
+from repro.taint import FPOps, Region, TArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # apps
+    "AppSpec", "available_apps", "get_app", "paper_apps",
+    # errors
+    "ReproError", "ConfigurationError", "DeadlockError", "CommunicatorError",
+    "InjectionPlanError", "FaultActivatedError", "SimulatedCrashError",
+    "SimulatedHangError",
+    # fault injection
+    "CampaignResult", "Deployment", "InjectionPlan", "Outcome", "Tracer",
+    "TracerMode", "run_campaign", "sample_plan", "cached_campaign",
+    # model
+    "FaultInjectionResult", "PredictionInputs", "PropagationProfile",
+    "ResiliencePredictor", "SerialSamplePlan", "cosine_similarity",
+    "group_histogram", "map_small_to_large", "prediction_error",
+    "result_given_contaminated", "rmse",
+    # substrate
+    "Communicator", "Scheduler", "execute_spmd", "FPOps", "Region", "TArray",
+]

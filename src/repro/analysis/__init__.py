@@ -1,0 +1,13 @@
+"""Structural analysis of applications' communication behaviour.
+
+Complements the statistical campaigns: a single fault-free run with
+traffic recording yields the application's communication graph, from
+which :mod:`repro.analysis.topology` derives structural explanations of
+the propagation profiles (paper §3.2) — e.g. CG's log2(p)-diameter
+exchange + allreduce pattern predicts its one-or-all contamination
+histograms, while PENNANT's chain topology predicts gradual creep.
+"""
+
+from repro.analysis.topology import CommunicationTopology, analyze_topology
+
+__all__ = ["CommunicationTopology", "analyze_topology"]

@@ -1,0 +1,122 @@
+"""Communication-graph extraction and propagation-structure metrics.
+
+One fault-free execution with traffic recording produces the directed
+point-to-point graph plus collective counts.  The derived metrics give
+*structural* explanations for the measured propagation histograms
+(paper §3.2):
+
+* an application whose runs are dominated by **allreduce** collectives
+  can only show one-or-all contamination (the collective carries any
+  surviving divergence to every rank at once) — CG, FT, LU;
+* an application with only **neighbour** point-to-point traffic spreads
+  contamination by graph distance per step — PENNANT's chain, MG's
+  3-D torus — producing the intermediate contamination counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.scheduler import Scheduler
+from repro.taint.ops import FPOps
+
+__all__ = ["CommunicationTopology", "analyze_topology"]
+
+
+@dataclass
+class CommunicationTopology:
+    """The communication structure of one execution."""
+
+    nprocs: int
+    graph: nx.DiGraph                     # p2p messages: edge weight = count
+    collective_counts: dict[str, int]     # completed collectives by kind
+
+    # ------------------------------------------------------------------
+    @property
+    def p2p_messages(self) -> int:
+        return int(sum(d["weight"] for _, _, d in self.graph.edges(data=True)))
+
+    @property
+    def global_collectives(self) -> int:
+        """Collectives that synchronize every rank (all kinds here do)."""
+        return sum(self.collective_counts.values())
+
+    @property
+    def carrying_collectives(self) -> int:
+        """Collectives that almost always transport divergence.
+
+        Sum/product reductions combine every contribution into the
+        result, so any surviving divergence reaches all ranks; min/max
+        reductions absorb a diverged contribution unless it wins, and
+        bcast/gather move only specific ranks' data.
+        """
+        return sum(
+            c
+            for label, c in self.collective_counts.items()
+            if label.endswith(":sum") or label.endswith(":prod")
+        )
+
+    def degree(self, rank: int) -> int:
+        """Distinct peers this rank exchanges messages with."""
+        return len(set(self.graph.successors(rank)) | set(self.graph.predecessors(rank)))
+
+    def p2p_diameter(self) -> float:
+        """Longest shortest-path over the undirected p2p graph.
+
+        ``inf`` when the p2p graph alone does not connect the ranks
+        (e.g. a collectives-only application).
+        """
+        if self.nprocs == 1:
+            return 0.0
+        und = self.graph.to_undirected()
+        und.add_nodes_from(range(self.nprocs))
+        if not nx.is_connected(und):
+            return float("inf")
+        return float(nx.diameter(und))
+
+    def spread_rounds(self, source: int = 0) -> dict[int, int]:
+        """BFS distance from ``source`` over p2p edges: the minimum number
+        of neighbour exchanges before each rank *can* observe divergence
+        (collectives can shortcut this to one step for everyone)."""
+        und = self.graph.to_undirected()
+        und.add_nodes_from(range(self.nprocs))
+        lengths = nx.single_source_shortest_path_length(und, source)
+        return {r: lengths.get(r, -1) for r in range(self.nprocs)}
+
+    def is_collective_dominated(self) -> bool:
+        """Heuristic for the one-or-all propagation signature.
+
+        True when divergence-carrying (sum/prod) global reductions are a
+        non-negligible share of a rank's communication events: surviving
+        corruption then jumps to every rank at the next reduction (CG,
+        FT, LU).  Apps whose reductions are rare relative to neighbour
+        traffic (MG's halos, PENNANT's chain with min-reductions) spread
+        gradually instead.
+        """
+        carrying = self.carrying_collectives
+        if carrying == 0:
+            return False
+        per_rank_p2p = self.p2p_messages / max(self.nprocs, 1)
+        return carrying / (carrying + per_rank_p2p) >= 0.10
+
+
+def analyze_topology(app, nprocs: int) -> CommunicationTopology:
+    """Run ``app`` fault-free once and extract its communication topology."""
+    def factory(rank: int, comm: Communicator):
+        return app.program(rank, nprocs, comm, FPOps(None, rank))
+
+    scheduler = Scheduler(nprocs, factory, record_traffic=True)
+    scheduler.run()
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(nprocs))
+    assert scheduler.traffic is not None and scheduler.collective_counts is not None
+    for (src, dst), count in scheduler.traffic.items():
+        graph.add_edge(src, dst, weight=count)
+    return CommunicationTopology(
+        nprocs=nprocs,
+        graph=graph,
+        collective_counts=dict(scheduler.collective_counts),
+    )

@@ -1,0 +1,36 @@
+"""Mini-applications: the paper's six benchmarks, rebuilt on the substrate.
+
+Each module implements one benchmark as an SPMD generator program over
+the simulated MPI runtime and the traced FP layer, preserving the
+original's numerical algorithm, communication pattern, verification
+test and common/parallel-unique code structure:
+
+* :mod:`repro.apps.cg` — NPB CG: power iteration with a conjugate-
+  gradient inner solve; column-block matvec with recursive-halving
+  partial-sum exchange (the exchange adds are parallel-unique).
+* :mod:`repro.apps.ft` — NPB FT: 3-D FFT spectral solver; slab
+  decomposition whose z transform runs cross-rank binary-exchange
+  butterfly stages — the parallel-unique computation (the analogue of
+  NPB FT's transpose machinery).
+* :mod:`repro.apps.mg` — NPB MG: V-cycle multigrid on a 3-D Poisson
+  problem; slab halo exchange, no parallel-unique computation.
+* :mod:`repro.apps.lu` — NPB LU: SSOR-style sweeps with a pipelined
+  wavefront dependence; neighbour pipeline, no parallel-unique
+  computation.
+* :mod:`repro.apps.minife` — MiniFE: FE stiffness assembly + CG solve;
+  ghost-contribution assembly at partition boundaries is
+  parallel-unique.
+* :mod:`repro.apps.pennant` — PENNANT: staggered-grid compressible
+  Lagrangian hydrodynamics on the Leblanc shock-tube problem; halo
+  exchange, no parallel-unique computation.
+
+The problem sizes are scaled down (Class-S-like) so a 128-rank
+simulated execution with thousands of injection trials is tractable on
+one machine; all executions of an app share one global problem
+(strong scaling, paper §2).
+"""
+
+from repro.apps.base import AppSpec, relative_error
+from repro.apps.registry import get_app, available_apps, paper_apps
+
+__all__ = ["AppSpec", "relative_error", "get_app", "available_apps", "paper_apps"]

@@ -1,0 +1,172 @@
+"""NPB LU: SSOR sweeps with a pipelined wavefront dependence.
+
+Numerics: symmetric successive over-relaxation on a 3-D 7-point Poisson
+system with Dirichlet boundaries.  The z direction is Gauss-Seidel
+(each plane update consumes the *new* previous plane — forward sweep —
+or the new next plane — backward sweep); the in-plane terms are Jacobi.
+A fixed number of SSOR iterations runs, with the residual norm computed
+each iteration (NAS LU's RSDNM) and verified at the end.
+
+Parallelization (as in NAS LU): the z planes are block-distributed; the
+new-plane dependence across the partition boundary makes each sweep a
+*pipeline* — rank r blocks on the boundary plane from rank r-1 (forward)
+or r+1 (backward) before updating its own planes.  All computation is
+common: LU has no parallel-unique computation (paper Table 1), and the
+downstream/upstream pipeline plus the per-iteration norm allreduce give
+LU its characteristic all-or-one propagation profile (paper Fig. 3's
+missing middle cases).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.errors import ConfigurationError
+from repro.taint.tarray import TArray
+from repro.utils.rng import spawn_rng
+
+__all__ = ["LUApp"]
+
+
+class LUApp(AppSpec):
+    """The LU benchmark.  See module docstring."""
+
+    name = "lu"
+
+    def __init__(
+        self,
+        nz: int = 64,
+        ny: int = 12,
+        nx: int = 12,
+        itmax: int = 2,
+        omega: float = 1.2,
+        epsilon: float = 1e-9,
+        seed: int = 999,
+    ):
+        if nz & (nz - 1):
+            raise ConfigurationError(f"LU nz={nz} must be a power of two")
+        self.nz, self.ny, self.nx = nz, ny, nx
+        self.itmax = itmax
+        self.omega = omega
+        self.epsilon = epsilon
+        self.seed = seed
+        rng = spawn_rng(seed, "lu-rhs")
+        self._rhs = rng.standard_normal((nz, ny, nx))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plane_lap(fp, plane: TArray) -> TArray:
+        """In-plane neighbour sum with Dirichlet-zero boundaries.
+
+        ``plane`` has shape (1, ny, nx); returns the sum of the four
+        in-plane shifts (zero padding at the walls).
+        """
+        _, ny, nx = plane.shape
+        zrow = TArray(np.zeros((1, 1, nx)))
+        zcol = TArray(np.zeros((1, ny, 1)))
+        up = TArray.concatenate([plane[:, 1:, :], zrow], axis=1)
+        down = TArray.concatenate([zrow, plane[:, :-1, :]], axis=1)
+        left = TArray.concatenate([plane[:, :, 1:], zcol], axis=2)
+        right = TArray.concatenate([zcol, plane[:, :, :-1]], axis=2)
+        return fp.add(fp.add(up, down), fp.add(left, right))
+
+    def _sweep(self, fp, comm, rank, size, planes, v, forward: bool):
+        """One pipelined Gauss-Seidel sweep over the local z planes.
+
+        ``planes`` is a list of (1, ny, nx) TArrays (this rank's block).
+        Generator: blocks on the upstream boundary plane, then sends its
+        own boundary plane downstream.
+        """
+        nloc = len(planes)
+        zeros = TArray(np.zeros((1, self.ny, self.nx)))
+        tag = 700 if forward else 701
+        if forward:
+            upstream, downstream = rank - 1, rank + 1
+            order = range(nloc)
+        else:
+            upstream, downstream = rank + 1, rank - 1
+            order = range(nloc - 1, -1, -1)
+        # The Jacobi-side z neighbour of this rank's last-updated plane
+        # holds *old* values owned by the downstream rank: every rank
+        # sends its own old edge plane upstream and receives the
+        # downstream rank's old edge (chain, reverse of the pipeline).
+        old_other = zeros
+        if 0 <= upstream < size:
+            my_old_edge = planes[0] if forward else planes[-1]
+            yield comm.send(upstream, my_old_edge, tag=tag + 10)
+        if 0 <= downstream < size:
+            old_other = yield comm.recv(source=downstream, tag=tag + 10)
+        if 0 <= upstream < size:
+            boundary = yield comm.recv(source=upstream, tag=tag)
+        else:
+            boundary = zeros
+        new_planes = list(planes)
+        prev_new = boundary
+        for k in order:
+            # z-neighbour terms: `prev_new` is Gauss-Seidel (already
+            # updated), the other side is the old value (Jacobi).
+            if forward:
+                other = new_planes[k + 1] if k + 1 < nloc else old_other
+            else:
+                other = new_planes[k - 1] if k - 1 >= 0 else old_other
+            znbr = fp.add(prev_new, other)
+            lap = fp.add(self._plane_lap(fp, new_planes[k]), znbr)
+            r = fp.sub(v[k], fp.sub(fp.mul(new_planes[k], 6.0), lap))
+            new_planes[k] = fp.add(new_planes[k], fp.mul(r, self.omega / 6.0))
+            prev_new = new_planes[k]
+        if 0 <= downstream < size:
+            yield comm.send(downstream, prev_new, tag=tag)
+        return new_planes
+
+    # ------------------------------------------------------------------
+    def program(self, rank, size, comm, fp):
+        """SSOR iterations (pipelined forward/backward z sweeps); verified RSDNM."""
+        self.check_nprocs(size, limit=self.nz)
+        nloc = self.nz // size
+        z0 = rank * nloc
+        v = [fp.asarray(self._rhs[z0 + k : z0 + k + 1]) for k in range(nloc)]
+        planes = [fp.asarray(np.zeros((1, self.ny, self.nx))) for _ in range(nloc)]
+
+        rsdnm = fp.asarray(0.0)
+        for _ in range(self.itmax):
+            planes = yield from self._sweep(fp, comm, rank, size, planes, v, forward=True)
+            planes = yield from self._sweep(fp, comm, rank, size, planes, v, forward=False)
+            # residual norm (needs old-style neighbour planes: halo exchange)
+            local = fp.asarray(0.0)
+            halo_lo, halo_hi = yield from self._halo(comm, rank, size, planes)
+            for k in range(nloc):
+                lower = planes[k - 1] if k > 0 else halo_lo
+                upper = planes[k + 1] if k + 1 < nloc else halo_hi
+                lap = fp.add(self._plane_lap(fp, planes[k]), fp.add(lower, upper))
+                r = fp.sub(v[k], fp.sub(fp.mul(planes[k], 6.0), lap))
+                local = fp.add(local, fp.dot(r.ravel(), r.ravel()))
+            total = yield comm.allreduce(local, op="sum")
+            rsdnm = fp.sqrt(total)
+        if rank == 0:
+            return self._as_output(rsdnm=rsdnm.value)
+        return None
+
+    def _halo(self, comm, rank, size, planes):
+        """Exchange boundary planes with both z neighbours (generator)."""
+        zeros = TArray(np.zeros((1, self.ny, self.nx)))
+        halo_lo = halo_hi = zeros
+        if size > 1:
+            if rank > 0 and rank < size - 1:
+                halo_lo = yield comm.sendrecv(rank - 1, planes[0], send_tag=710)
+                halo_hi = yield comm.sendrecv(rank + 1, planes[-1], send_tag=710)
+            elif rank > 0:
+                halo_lo = yield comm.sendrecv(rank - 1, planes[0], send_tag=710)
+            elif rank < size - 1:
+                halo_hi = yield comm.sendrecv(rank + 1, planes[-1], send_tag=710)
+        return halo_lo, halo_hi
+
+    # ------------------------------------------------------------------
+    def verify(self, output, reference):
+        """NAS-style check: the residual norm matches within epsilon."""
+        got, ref = output["rsdnm"], reference["rsdnm"]
+        if not (math.isfinite(got) and math.isfinite(ref)):
+            return False
+        return abs(got - ref) <= self.epsilon * max(abs(ref), 1.0)

@@ -1,0 +1,217 @@
+"""PENNANT: staggered-grid compressible Lagrangian hydrodynamics.
+
+Numerics: an explicit staggered-mesh Lagrangian scheme (velocities on
+nodes, thermodynamics in cells) with von Neumann–Richtmyer artificial
+viscosity and a CFL-driven global timestep — the 1-D core of LANL's
+PENNANT mini-app, run on the Leblanc-style shock-tube input the paper
+uses (a strong density/energy jump).  A fixed number of cycles runs;
+the verified outputs are the conserved-energy totals and a mass-weighted
+profile checksum.
+
+Like the real PENNANT, the simulation carries *error detectors*: an
+inverted cell (non-positive volume), a non-positive energy/density, or a
+non-finite timestep aborts the run — giving this benchmark a genuine
+crash (FAILURE) outcome under fault injection, unlike the NPB kernels
+whose FP corruption mostly stays silent.
+
+Parallelization: cells are block-partitioned; each step exchanges one
+boundary cell of (P + q) downstream, one boundary node of (u, x)
+upstream, and allreduces the timestep minimum.  All computation is
+common — PENNANT has no parallel-unique computation (paper Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.base import AppSpec, block_bounds
+from repro.errors import SimulatedCrashError
+from repro.taint.tarray import TArray
+
+__all__ = ["PennantApp"]
+
+
+class PennantApp(AppSpec):
+    """The PENNANT benchmark (1-D Leblanc-like tube).  See module docstring."""
+
+    name = "pennant"
+
+    def __init__(
+        self,
+        n_cells: int = 128,
+        steps: int = 24,
+        gamma: float = 5.0 / 3.0,
+        cfl: float = 0.3,
+        q_coef: float = 2.0,
+        rho_left: float = 1.0,
+        rho_right: float = 0.01,
+        e_left: float = 0.1,
+        e_right: float = 1e-5,
+        epsilon: float = 1e-9,
+    ):
+        self.n_cells = n_cells
+        self.steps = steps
+        self.gamma = gamma
+        self.cfl = cfl
+        self.q_coef = q_coef
+        self.rho_left, self.rho_right = rho_left, rho_right
+        self.e_left, self.e_right = e_left, e_right
+        self.epsilon = epsilon
+
+        # initial mesh and state (setup, untraced)
+        xn = np.linspace(0.0, 1.0, n_cells + 1)
+        mid = n_cells // 2
+        rho = np.where(np.arange(n_cells) < mid, rho_left, rho_right)
+        e = np.where(np.arange(n_cells) < mid, e_left, e_right)
+        dx = np.diff(xn)
+        self._x0 = xn
+        self._rho0 = rho
+        self._e0 = e
+        self._mass = rho * dx  # Lagrangian cell mass, constant forever
+        # node mass: half of each adjacent cell (walls get one half)
+        mn = np.zeros(n_cells + 1)
+        mn[:-1] += 0.5 * self._mass
+        mn[1:] += 0.5 * self._mass
+        self._node_mass = mn
+
+    # ------------------------------------------------------------------
+    def program(self, rank, size, comm, fp):
+        """Staggered-grid Lagrangian hydro cycles on the shock tube."""
+        self.check_nprocs(size, limit=self.n_cells // 2)
+        c0, c1 = block_bounds(self.n_cells, size, rank)
+        ncell = c1 - c0
+        last = rank == size - 1
+        # this rank owns nodes c0..c1-1; the last rank also owns node n
+        nnode = ncell + (1 if last else 0)
+
+        x = fp.asarray(self._x0[c0 : c0 + nnode])
+        u = fp.asarray(np.zeros(nnode))
+        e = fp.asarray(self._e0[c0:c1])
+        rho = fp.asarray(self._rho0[c0:c1])
+        m = fp.asarray(self._mass[c0:c1])
+        mn = fp.asarray(self._node_mass[c0 : c0 + nnode])
+        # interior mask pins the wall nodes (u = 0 at both ends)
+        mask = np.ones(nnode)
+        if rank == 0:
+            mask[0] = 0.0
+        if last:
+            mask[-1] = 0.0
+        wall_x = self._x0[-1]
+
+        for _ in range(self.steps):
+            # -- upstream halo: node u,x of cell c1 (next rank's first node)
+            if size > 1:
+                if rank > 0:
+                    yield comm.send(rank - 1, (u[:1], x[:1]), tag=900)
+                if not last:
+                    u_hi, x_hi = yield comm.recv(source=rank + 1, tag=900)
+                else:
+                    u_hi = x_hi = None
+            else:
+                u_hi = x_hi = None
+            if u_hi is None:
+                u_full = u
+                x_full = x
+            else:
+                u_full = TArray.concatenate([u, u_hi])
+                x_full = TArray.concatenate([x, x_hi])
+
+            # -- EOS, sound speed, CFL timestep
+            p = fp.mul(fp.mul(rho, e), self.gamma - 1.0)
+            self._guard_positive(rho, "density")
+            self._guard_positive(e, "energy")
+            cs2 = fp.div(fp.mul(p, self.gamma), rho)
+            cs = fp.sqrt(cs2)
+            dx = fp.sub(x_full[1:], x_full[:-1])
+            self._guard_positive(dx, "cell volume")
+            rate = fp.div(dx, cs)
+            local_dt = fp.mul(fp.min(rate), self.cfl)
+            dt = yield comm.allreduce(local_dt, op="min")
+            dt_val = dt.value
+            if not math.isfinite(dt_val) or dt_val <= 0.0:
+                raise SimulatedCrashError(f"pennant: bad timestep {dt_val}")
+
+            # -- artificial viscosity (compression only)
+            du = fp.sub(u_full[1:], u_full[:-1])
+            q_full = fp.mul(fp.mul(fp.mul(du, du), rho), self.q_coef)
+            q = fp.where(fp.less(du, 0.0), q_full, 0.0)
+            ptot = fp.add(p, q)
+
+            # -- downstream halo: boundary cell's (P+q)
+            if size > 1:
+                if not last:
+                    yield comm.send(rank + 1, ptot[-1:], tag=901)
+                if rank > 0:
+                    ptot_lo = yield comm.recv(source=rank - 1, tag=901)
+                else:
+                    ptot_lo = ptot[:1]  # reflective wall: zero gradient
+            else:
+                ptot_lo = ptot[:1]
+            ptot_ext = TArray.concatenate([ptot_lo, ptot])
+            if last:
+                ptot_ext = TArray.concatenate([ptot_ext, ptot[-1:]])
+
+            # -- momentum update on owned nodes
+            force = fp.sub(ptot_ext[:nnode], ptot_ext[1 : nnode + 1])
+            accel = fp.div(force, mn)
+            u = fp.mul(fp.add(u, fp.mul(accel, dt)), mask)
+            x = fp.add(x, fp.mul(u, dt))
+
+            # -- new geometry (needs the updated next node)
+            if size > 1:
+                if rank > 0:
+                    yield comm.send(rank - 1, (u[:1], x[:1]), tag=902)
+                if not last:
+                    u_hi2, x_hi2 = yield comm.recv(source=rank + 1, tag=902)
+                    u_new_full = TArray.concatenate([u, u_hi2])
+                    x_new_full = TArray.concatenate([x, x_hi2])
+                else:
+                    u_new_full = u
+                    x_new_full = x
+            else:
+                u_new_full = u
+                x_new_full = x
+            vol = fp.sub(x_new_full[1:], x_new_full[:-1])
+            self._guard_positive(vol, "cell volume")
+            rho = fp.div(m, vol)
+
+            # -- energy update (pdV work with the new velocity field)
+            du_new = fp.sub(u_new_full[1:], u_new_full[:-1])
+            work = fp.div(fp.mul(fp.mul(ptot, du_new), dt), m)
+            e = fp.sub(e, work)
+            self._guard_positive(e, "energy")
+
+        # -- conserved totals and profile checksum (final geometry)
+        ke_local = fp.mul(fp.sum(fp.mul(fp.mul(u, u), mn)), 0.5)
+        ie_local = fp.sum(fp.mul(m, e))
+        xc = fp.mul(fp.add(x_new_full[1:], x_new_full[:-1]), 0.5)
+        prof_local = fp.sum(fp.mul(fp.mul(rho, xc), m))
+        ke = yield comm.allreduce(ke_local, op="sum")
+        ie = yield comm.allreduce(ie_local, op="sum")
+        prof = yield comm.allreduce(prof_local, op="sum")
+        if rank == 0:
+            return self._as_output(
+                kinetic=ke.value, internal=ie.value, profile=prof.value
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _guard_positive(t: TArray, what: str) -> None:
+        """PENNANT-style error detector: abort on unphysical state."""
+        vals = t.to_numpy()
+        if not np.all(np.isfinite(vals)) or np.any(vals <= 0.0):
+            raise SimulatedCrashError(f"pennant: non-positive {what}")
+
+    # ------------------------------------------------------------------
+    def verify(self, output, reference):
+        """Energy-conservation and profile check against the accepted run."""
+        for key in ("kinetic", "internal", "profile"):
+            got, ref = output[key], reference[key]
+            if not (math.isfinite(got) and math.isfinite(ref)):
+                return False
+            if abs(got - ref) > self.epsilon * max(abs(ref), 1e-12):
+                return False
+        return True

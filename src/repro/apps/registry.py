@@ -1,0 +1,118 @@
+"""Benchmark registry: canonical paper configurations by name.
+
+``get_app`` resolves the configuration names used throughout the
+experiment harnesses.  The canonical six are the paper's evaluation set
+(§5.1): CG/FT/MG Class-S-like, LU Class-W-like, MiniFE default-input,
+PENNANT leblanc.  Larger "Class B-like" variants back Table 1's second
+rows.  Sizes are scaled to keep a 128-rank simulated campaign tractable
+(see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import AppSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["get_app", "available_apps", "paper_apps"]
+
+_FACTORIES: dict[str, Callable[[], AppSpec]] = {}
+
+
+def _register(name: str):
+    def deco(factory: Callable[[], AppSpec]):
+        _FACTORIES[name] = factory
+        return factory
+
+    return deco
+
+
+@_register("cg")
+def _cg() -> AppSpec:
+    from repro.apps.cg import CGApp
+
+    return CGApp()
+
+
+@_register("cg.classb")
+def _cg_b() -> AppSpec:
+    from repro.apps.cg import CGApp
+
+    # Larger, denser problem: the Class-B-like configuration of Table 1.
+    return CGApp(n=512, nnz_per_row=128, niter=1, cg_iters=8)
+
+
+@_register("ft")
+def _ft() -> AppSpec:
+    from repro.apps.ft import FTApp
+
+    return FTApp()
+
+
+@_register("ft.classb")
+def _ft_b() -> AppSpec:
+    from repro.apps.ft import FTApp
+
+    # NAS FT grows the distributed (z) axis from class S to B
+    # (64^3 -> 512x256x256); deepening z raises the transpose share,
+    # matching Table 1's FT direction (B > S).
+    return FTApp(shape=(256, 8, 8), steps=2)
+
+
+@_register("mg")
+def _mg() -> AppSpec:
+    from repro.apps.mg import MGApp
+
+    return MGApp()
+
+
+@_register("lu")
+def _lu() -> AppSpec:
+    from repro.apps.lu import LUApp
+
+    return LUApp()
+
+
+@_register("minife")
+def _minife() -> AppSpec:
+    from repro.apps.minife import MiniFEApp
+
+    return MiniFEApp()
+
+
+@_register("minife.large")
+def _minife_large() -> AppSpec:
+    from repro.apps.minife import MiniFEApp
+
+    # The paper's second MiniFE row (nx=ny=nz=300), scaled: a bigger
+    # problem with a longer solve, shrinking the ghost-merge share.
+    return MiniFEApp(nz=64, ny=10, nx=10, cg_iters=25)
+
+
+@_register("pennant")
+def _pennant() -> AppSpec:
+    from repro.apps.pennant import PennantApp
+
+    return PennantApp()
+
+
+def available_apps() -> list[str]:
+    """All registered configuration names."""
+    return sorted(_FACTORIES)
+
+
+def paper_apps() -> list[str]:
+    """The paper's six-benchmark evaluation set (§5.1)."""
+    return ["cg", "ft", "mg", "lu", "minife", "pennant"]
+
+
+def get_app(name: str) -> AppSpec:
+    """Instantiate the named benchmark configuration."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {name!r}; available: {', '.join(available_apps())}"
+        ) from None
+    return factory()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.  A second, orthogonal family —
+:class:`FaultActivatedError` — marks *simulated application failures*
+caused by an injected fault (crash / hang analogues).  The fault-injection
+campaign driver treats those as the ``FAILURE`` outcome rather than as a
+bug in the harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or an inconsistent configuration was supplied."""
+
+
+class DeadlockError(ReproError):
+    """The simulated MPI scheduler found no runnable rank.
+
+    Raised when every unfinished rank is blocked on a communication
+    request that can never be satisfied (e.g. a receive with no matching
+    send, or a collective some ranks never enter).
+    """
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated MPI API (bad rank, tag, mismatched collective)."""
+
+
+class InjectionPlanError(ReproError):
+    """A fault-injection plan is inconsistent with the profiled execution.
+
+    Typically the plan targets a dynamic instruction index beyond the
+    number of instructions the program actually executes.
+    """
+
+
+class CheckerError(ReproError):
+    """An application verification checker was configured incorrectly."""
+
+
+class FaultActivatedError(ReproError):
+    """Base class for simulated application failures caused by a fault.
+
+    These are *outcomes*, not harness bugs: the campaign driver converts
+    them into the ``FAILURE`` fault-injection outcome.
+    """
+
+
+class SimulatedCrashError(FaultActivatedError):
+    """The application would have crashed (e.g. NaN/Inf reached a guard)."""
+
+
+class SimulatedHangError(FaultActivatedError):
+    """The application would have hung (e.g. a solver stopped converging)."""

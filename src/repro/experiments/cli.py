@@ -1,0 +1,44 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments`` / ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="fault-injection tests per deployment (default: $REPRO_TRIALS or 300; "
+             "the paper uses 4000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.perf_counter()
+        module.run(trials=args.trials, seed=args.seed)
+        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Figure 3: serial multi-error injection vs parallel contamination.
+
+For each benchmark: the success rate of serial execution with x errors
+injected into the common computation, against the success rate of the
+8-process execution conditioned on x processes being contaminated
+(x = 1..8).  Missing parallel entries mean no test contaminated exactly
+x processes (the paper's missing bars, e.g. LU's cases 2-6).
+
+This is the empirical basis of Observation 4 and the Eq. 2/4 emulation.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_app, paper_apps
+from repro.experiments.common import default_trials, small_campaign
+from repro.fi.cache import cached_campaign
+from repro.fi.campaign import Deployment
+from repro.model.result import FaultInjectionResult, result_given_contaminated
+from repro.taint.region import Region
+from repro.utils.tables import format_table
+
+__all__ = ["run"]
+
+NPROCS = 8
+
+
+def run(trials: int | None = None, seed: int = 0, quiet: bool = False) -> dict:
+    """Regenerate Fig. 3 (success-rate curves, tabulated)."""
+    trials = default_trials(trials)
+    out: dict[str, dict] = {}
+    for name in paper_apps():
+        app = get_app(name)
+        serial_curve: list[float] = []
+        for x in range(1, NPROCS + 1):
+            dep = Deployment(
+                nprocs=1, trials=trials, n_errors=x, region=Region.COMMON,
+                seed=seed + 10_000 + x,
+            )
+            serial_curve.append(
+                FaultInjectionResult.from_campaign(cached_campaign(app, dep)).success
+            )
+        parallel = small_campaign(app, NPROCS, trials, seed)
+        parallel_curve: list[float | None] = []
+        for x in range(1, NPROCS + 1):
+            cond = result_given_contaminated(parallel, x)
+            parallel_curve.append(None if cond is None else cond.success)
+        out[name] = {"serial": serial_curve, "parallel": parallel_curve}
+        if not quiet:
+            rows = [
+                (
+                    x,
+                    serial_curve[x - 1],
+                    "-" if parallel_curve[x - 1] is None else f"{parallel_curve[x-1]:.3f}",
+                )
+                for x in range(1, NPROCS + 1)
+            ]
+            print(
+                format_table(
+                    ["x", "serial, x errors", f"parallel ({NPROCS}p), x contaminated"],
+                    rows,
+                    title=f"Figure 3 — {name.upper()} success rates",
+                )
+            )
+            print()
+    return out

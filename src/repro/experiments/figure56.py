@@ -1,0 +1,85 @@
+"""Figures 5 and 6: modeling accuracy predicting 64 MPI processes.
+
+Fig. 5 predicts from serial + 4-rank inputs; Fig. 6 from serial +
+8-rank inputs.  The paper reports an average success-rate prediction
+error of 8 % (max 27 %) for Fig. 5 and 7 % (max 19 %) for Fig. 6 —
+more small-scale samples give better accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_app, paper_apps
+from repro.experiments.common import (
+    build_predictor,
+    default_trials,
+    measured_campaign,
+)
+from repro.model.result import FaultInjectionResult
+from repro.utils.tables import format_table
+
+__all__ = ["run", "accuracy_for_small_scale"]
+
+TARGET = 64
+
+
+def accuracy_for_small_scale(
+    small_nprocs: int,
+    target_nprocs: int = TARGET,
+    trials: int | None = None,
+    seed: int = 0,
+    apps: list[str] | None = None,
+) -> dict[str, dict]:
+    """Predicted vs measured success rates for each app (one figure)."""
+    trials = default_trials(trials)
+    out: dict[str, dict] = {}
+    for name in apps or paper_apps():
+        predictor = build_predictor(
+            name, small_nprocs=small_nprocs, target_nprocs=target_nprocs,
+            trials=trials, seed=seed,
+        )
+        predicted = predictor.predict(target_nprocs)
+        measured = FaultInjectionResult.from_campaign(
+            measured_campaign(get_app(name), target_nprocs, trials, seed)
+        )
+        out[name] = {
+            "predicted": predicted,
+            "measured": measured,
+            "error": abs(predicted.success - measured.success),
+            "fine_tuned": predictor.fine_tuning_active,
+        }
+    return out
+
+
+def _print_figure(title: str, results: dict[str, dict]) -> None:
+    rows = [
+        (
+            name.upper(),
+            r["predicted"].success,
+            r["measured"].success,
+            100 * r["error"],
+            "yes" if r["fine_tuned"] else "no",
+        )
+        for name, r in results.items()
+    ]
+    errors = [r["error"] for r in results.values()]
+    print(
+        format_table(
+            ["Benchmark", "predicted", "measured", "error (pp)", "fine-tuned"],
+            rows,
+            title=title,
+        )
+    )
+    print(
+        f"average error {100 * sum(errors) / len(errors):.1f} pp, "
+        f"max {100 * max(errors):.1f} pp\n"
+    )
+
+
+def run(trials: int | None = None, seed: int = 0, quiet: bool = False) -> dict:
+    """Regenerate Figs. 5 and 6."""
+    fig5 = accuracy_for_small_scale(4, trials=trials, seed=seed)
+    fig6 = accuracy_for_small_scale(8, trials=trials, seed=seed)
+    if not quiet:
+        _print_figure("Figure 5 — serial + 4 ranks predicting 64 ranks", fig5)
+        _print_figure("Figure 6 — serial + 8 ranks predicting 64 ranks", fig6)
+    return {"figure5": fig5, "figure6": fig6}

@@ -1,0 +1,46 @@
+"""Figure 7: modeling accuracy at 128 MPI processes (CG and FT).
+
+The paper could not afford injection beyond 128 processes; it reports
+prediction errors of at most 7 % (serial + 4 ranks) and 6 % (serial +
+8 ranks) for CG and FT at 128.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure56 import accuracy_for_small_scale
+from repro.utils.tables import format_table
+
+__all__ = ["run"]
+
+TARGET = 128
+APPS = ["cg", "ft"]
+
+
+def run(trials: int | None = None, seed: int = 0, quiet: bool = False) -> dict:
+    """Regenerate Fig. 7."""
+    out: dict[str, dict] = {}
+    for small in (4, 8):
+        out[f"serial+{small}procs"] = accuracy_for_small_scale(
+            small, target_nprocs=TARGET, trials=trials, seed=seed, apps=APPS
+        )
+    if not quiet:
+        rows = []
+        for label, results in out.items():
+            for name, r in results.items():
+                rows.append(
+                    (
+                        label,
+                        name.upper(),
+                        r["predicted"].success,
+                        r["measured"].success,
+                        100 * r["error"],
+                    )
+                )
+        print(
+            format_table(
+                ["predictor", "Benchmark", "predicted", "measured", "error (pp)"],
+                rows,
+                title=f"Figure 7 — predicting {TARGET} MPI processes",
+            )
+        )
+    return out

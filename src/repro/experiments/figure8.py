@@ -1,0 +1,77 @@
+"""Figure 8: modeling accuracy vs fault-injection cost across scales.
+
+Sweeps the small-scale size S in {4, 8, 16, 32}; for each S, predicts
+all six benchmarks at 64 ranks and reports (a) the RMSE of the success-
+rate predictions (Eq. 9) and (b) the fault-injection wall time of the
+S-rank campaign, normalized to serial injection time.  The paper finds
+accuracy improves and cost grows with S, balancing around S = 16.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_app, paper_apps
+from repro.experiments.common import (
+    build_predictor,
+    default_trials,
+    measured_campaign,
+    small_campaign,
+)
+from repro.fi.cache import cached_campaign
+from repro.fi.campaign import Deployment
+from repro.model.metrics import rmse
+from repro.model.result import FaultInjectionResult
+from repro.utils.tables import format_table
+
+__all__ = ["run"]
+
+TARGET = 64
+SCALES = (4, 8, 16, 32)
+
+
+def run(
+    trials: int | None = None,
+    seed: int = 0,
+    quiet: bool = False,
+    scales: tuple[int, ...] = SCALES,
+    target: int = TARGET,
+    apps: list[str] | None = None,
+) -> dict:
+    """Regenerate Fig. 8 (RMSE and normalized injection time per S)."""
+    trials = default_trials(trials)
+    apps = apps or paper_apps()
+
+    # serial-injection baseline time per app (single-error deployments)
+    serial_times: dict[str, float] = {}
+    for name in apps:
+        dep = Deployment(nprocs=1, trials=trials, seed=seed + 10_001)
+        serial_times[name] = cached_campaign(get_app(name), dep).injection_time
+
+    rows = []
+    out: dict[int, dict] = {}
+    for s in scales:
+        pairs = []
+        time_ratios = []
+        for name in apps:
+            predictor = build_predictor(
+                name, small_nprocs=s, target_nprocs=target, trials=trials, seed=seed
+            )
+            predicted = predictor.predict(target)
+            measured = FaultInjectionResult.from_campaign(
+                measured_campaign(get_app(name), target, trials, seed)
+            )
+            pairs.append((predicted, measured))
+            small = small_campaign(get_app(name), s, trials, seed)
+            time_ratios.append(small.injection_time / max(serial_times[name], 1e-9))
+        value = rmse(pairs)
+        mean_ratio = sum(time_ratios) / len(time_ratios)
+        out[s] = {"rmse": value, "normalized_time": mean_ratio}
+        rows.append((s, value, mean_ratio))
+    if not quiet:
+        print(
+            format_table(
+                ["small scale S", "RMSE (success rate)", "FI time / serial"],
+                rows,
+                title="Figure 8 — accuracy vs fault-injection cost",
+            )
+        )
+    return out

@@ -1,0 +1,49 @@
+"""Table 1: share of parallel-unique computation at four MPI processes.
+
+Paper values for orientation: CG S 1.6 % / B 0.27 %, FT S 10.4 % /
+B 17.7 %, MG none, LU none, MiniFE 1.54 % / 0.68 %, PENNANT none.
+Our proxy is the parallel-unique share of traced candidate instructions
+(see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_app
+from repro.experiments.common import unique_fraction
+from repro.utils.tables import format_table
+
+__all__ = ["run", "CONFIGS"]
+
+CONFIGS = [
+    ("CG (Class S-like)", "cg"),
+    ("CG (Class B-like)", "cg.classb"),
+    ("FT (Class S-like)", "ft"),
+    ("FT (Class B-like)", "ft.classb"),
+    ("MG", "mg"),
+    ("LU", "lu"),
+    ("MiniFE (small)", "minife"),
+    ("MiniFE (large)", "minife.large"),
+    ("PENNANT (leblanc)", "pennant"),
+]
+
+
+def run(trials: int | None = None, seed: int = 0, quiet: bool = False) -> dict:
+    """Regenerate Table 1 (profiling only — no injection trials needed)."""
+    nprocs = 4
+    rows = []
+    fractions: dict[str, float] = {}
+    for label, name in CONFIGS:
+        frac = unique_fraction(get_app(name), nprocs)
+        fractions[name] = frac
+        rows.append(
+            (label, f"{100 * frac:.2f}%" if frac > 0 else "No parallel-unique comp")
+        )
+    if not quiet:
+        print(
+            format_table(
+                ["Benchmark", "Parallel-unique share (p=4)"],
+                rows,
+                title="Table 1 — percentage of parallel-unique computation",
+            )
+        )
+    return {"nprocs": nprocs, "fractions": fractions}

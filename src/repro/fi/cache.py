@@ -1,0 +1,106 @@
+"""Disk cache for campaign results.
+
+Campaigns are deterministic given (app configuration, deployment), so
+their aggregate results can be cached and shared across experiment
+harnesses and repeated benchmark runs.  The cache stores only the
+aggregate joint distribution and profile summary — everything
+downstream analyses consume — as JSON under ``REPRO_CACHE_DIR``
+(default ``.repro-cache/`` in the working directory).
+
+Set ``REPRO_CACHE=0`` to disable, e.g. while modifying the substrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.fi.campaign import AppProtocol, CampaignResult, Deployment, run_campaign
+from repro.fi.outcomes import Outcome
+
+__all__ = ["cached_campaign", "cache_dir", "cache_enabled"]
+
+_CACHE_VERSION = "v1"
+
+
+def cache_enabled() -> bool:
+    """Is disk caching active? (disable with ``REPRO_CACHE=0``)."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Cache directory (``REPRO_CACHE_DIR``, default ``.repro-cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def _deployment_key(deployment: Deployment) -> str:
+    key = (
+        f"p={deployment.nprocs},t={deployment.trials},e={deployment.n_errors},"
+        f"r={deployment.region.value if deployment.region else None},"
+        f"tr={deployment.target_rank},s={deployment.seed}"
+    )
+    if deployment.bits_per_error != 1:  # appended only when set: keeps
+        key += f",b={deployment.bits_per_error}"  # single-bit keys stable
+    return key
+
+
+def _cache_path(app: AppProtocol, deployment: Deployment) -> Path:
+    key = f"{_CACHE_VERSION}|{app.cache_key()}|{_deployment_key(deployment)}"
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return cache_dir() / f"{app.name}-{digest}.json"
+
+
+def _serialize(result: CampaignResult) -> dict:
+    return {
+        "version": _CACHE_VERSION,
+        "app_name": result.app_name,
+        "joint": [
+            [outcome.value, ncont, activated, count]
+            for (outcome, ncont, activated), count in sorted(
+                result.joint.items(), key=lambda kv: (kv[0][0].value, kv[0][1], kv[0][2])
+            )
+        ],
+        "parallel_unique_fraction": result.parallel_unique_fraction,
+        "total_instructions": result.total_instructions,
+        "candidate_instructions": result.candidate_instructions,
+        "profile_time": result.profile_time,
+        "injection_time": result.injection_time,
+    }
+
+
+def _deserialize(blob: dict, deployment: Deployment) -> CampaignResult:
+    joint = {
+        (Outcome(o), int(n), bool(a)): int(c) for o, n, a, c in blob["joint"]
+    }
+    return CampaignResult(
+        app_name=blob["app_name"],
+        deployment=deployment,
+        joint=joint,
+        parallel_unique_fraction=blob["parallel_unique_fraction"],
+        total_instructions=blob["total_instructions"],
+        candidate_instructions=blob["candidate_instructions"],
+        profile_time=blob["profile_time"],
+        injection_time=blob["injection_time"],
+    )
+
+
+def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
+    """Run (or load) a campaign; results persist across processes."""
+    if not cache_enabled():
+        return run_campaign(app, deployment)
+    path = _cache_path(app, deployment)
+    if path.exists():
+        try:
+            blob = json.loads(path.read_text())
+            if blob.get("version") == _CACHE_VERSION:
+                return _deserialize(blob, deployment)
+        except (json.JSONDecodeError, KeyError, ValueError):
+            pass  # stale/corrupt entry: recompute below
+    result = run_campaign(app, deployment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(_serialize(result)))
+    tmp.replace(path)
+    return result

@@ -1,0 +1,235 @@
+"""Fault-injection deployments: many randomized tests, one configuration.
+
+A *deployment* (paper §2) fixes the execution scale (number of MPI
+processes), the fault pattern (number of errors per test, target
+region), and the number of tests.  Running one yields a
+:class:`CampaignResult`: outcome rates (success / SDC / failure), the
+joint distribution of (outcome, contaminated-process count), the
+dynamic-instruction profile, and wall-clock fault-injection time — the
+raw material for every model input and every figure of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Generator, Protocol
+
+from repro.errors import (
+    CommunicatorError,
+    ConfigurationError,
+    DeadlockError,
+    FaultActivatedError,
+)
+from repro.fi.outcomes import Outcome, TrialRecord, classify_outcome
+from repro.fi.plan import sample_plan
+from repro.fi.profile import InstructionProfile
+from repro.fi.tracer import Tracer, TracerMode
+from repro.mpisim.runner import execute_spmd
+from repro.taint.region import Region
+from repro.utils.rng import trial_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Deployment", "CampaignResult", "run_campaign", "AppProtocol"]
+
+
+class AppProtocol(Protocol):
+    """What the campaign driver needs from an application."""
+
+    name: str
+
+    def program(self, rank: int, size: int, comm, fp) -> Generator:
+        """The SPMD rank program (generator; see :mod:`repro.mpisim`)."""
+        ...
+
+    def verify(self, output: dict, reference: dict) -> bool:
+        """The application's correctness checker (paper §2 'checkers')."""
+        ...
+
+    def cache_key(self) -> str:
+        """Stable string identifying the app's parameters."""
+        ...
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One fault-injection configuration (paper: 'fault injection deployment')."""
+
+    nprocs: int
+    trials: int
+    n_errors: int = 1
+    region: Region | None = None        # None = sample by candidate share
+    target_rank: int | None = None      # None = uniform victim per test
+    seed: int = 0
+    max_steps: int | None = None        # scheduler runaway guard
+    bits_per_error: int = 1             # >1 = multi-bit fault pattern
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.nprocs, "nprocs")
+        check_positive_int(self.trials, "trials")
+        check_positive_int(self.n_errors, "n_errors")
+        check_positive_int(self.bits_per_error, "bits_per_error")
+        if self.n_errors > 1 and self.target_rank is None and self.nprocs > 1:
+            raise ConfigurationError(
+                "multi-error deployments on parallel executions must pin target_rank"
+            )
+
+    @property
+    def effective_target_rank(self) -> int | None:
+        """Serial multi-error emulation implicitly targets rank 0."""
+        if self.target_rank is not None:
+            return self.target_rank
+        return 0 if self.n_errors > 1 else None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated result of one deployment.
+
+    ``joint`` maps ``(outcome, n_contaminated, activated)`` to trial
+    counts — sufficient for outcome rates, propagation histograms, and
+    the conditional success rates of the paper's Fig. 3.
+    """
+
+    app_name: str
+    deployment: Deployment
+    joint: dict[tuple[Outcome, int, bool], int]
+    parallel_unique_fraction: float
+    total_instructions: int
+    candidate_instructions: int
+    profile_time: float
+    injection_time: float
+    records: list[TrialRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_trials(self) -> int:
+        """Total fault-injection tests aggregated in this result."""
+        return sum(self.joint.values())
+
+    def outcome_count(self, outcome: Outcome) -> int:
+        """Number of tests that ended with ``outcome``."""
+        return sum(c for (o, _, _), c in self.joint.items() if o == outcome)
+
+    def rate(self, outcome: Outcome) -> float:
+        """Fraction of tests with ``outcome`` (the paper's FI result)."""
+        n = self.n_trials
+        return self.outcome_count(outcome) / n if n else float("nan")
+
+    @property
+    def success_rate(self) -> float:
+        return self.rate(Outcome.SUCCESS)
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.rate(Outcome.SDC)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.rate(Outcome.FAILURE)
+
+    # ------------------------------------------------------------------
+    def propagation_counts(self) -> dict[int, int]:
+        """Trials per contaminated-process count (activated trials only)."""
+        out: dict[int, int] = {}
+        for (_, ncont, activated), c in self.joint.items():
+            if activated and ncont >= 1:
+                out[ncont] = out.get(ncont, 0) + c
+        return out
+
+    def success_rate_given_contaminated(self, n: int) -> float | None:
+        """Success rate among activated trials with ``n`` ranks contaminated.
+
+        Returns None when no such trial occurred (the paper's "missing
+        bars" in Fig. 3).
+        """
+        total = succ = 0
+        for (o, ncont, activated), c in self.joint.items():
+            if activated and ncont == n:
+                total += c
+                if o == Outcome.SUCCESS:
+                    succ += c
+        return succ / total if total else None
+
+    def activation_rate(self) -> float:
+        """Share of tests whose planned flips all actually fired."""
+        n = self.n_trials
+        act = sum(c for (_, _, a), c in self.joint.items() if a)
+        return act / n if n else float("nan")
+
+
+def run_campaign(
+    app: AppProtocol,
+    deployment: Deployment,
+    keep_records: bool = False,
+) -> CampaignResult:
+    """Run a full fault-injection deployment for ``app``.
+
+    A fault-free profiling pass first records the reference output and
+    the per-rank dynamic-instruction profile; each trial then samples an
+    injection plan from the profile and re-executes the application with
+    the tracer armed.  Crashes (:class:`FaultActivatedError`), hangs
+    (deadlocks) and communicator breakdown caused by fault-perturbed
+    control flow are classified as ``FAILURE``.
+    """
+    t0 = time.perf_counter()
+    profile_tracer = Tracer(TracerMode.PROFILE)
+    outputs = execute_spmd(
+        app.program, deployment.nprocs, sink=profile_tracer,
+        max_steps=deployment.max_steps,
+    )
+    reference = outputs[0]
+    if reference is None:
+        raise ConfigurationError(f"app {app.name!r} returned no output at rank 0")
+    profile: InstructionProfile = profile_tracer.profile
+    profile_time = time.perf_counter() - t0
+
+    joint: dict[tuple[Outcome, int, bool], int] = {}
+    records: list[TrialRecord] = []
+    t1 = time.perf_counter()
+    for trial in range(deployment.trials):
+        rng = trial_seed(deployment.seed, trial)
+        plan = sample_plan(
+            profile,
+            rng,
+            n_errors=deployment.n_errors,
+            target_rank=deployment.effective_target_rank,
+            region=deployment.region,
+            bits_per_error=deployment.bits_per_error,
+        )
+        tracer = Tracer(TracerMode.INJECT, plan)
+        detail = ""
+        try:
+            outs = execute_spmd(
+                app.program, deployment.nprocs, sink=tracer,
+                max_steps=deployment.max_steps,
+            )
+        except FaultActivatedError as exc:
+            outcome, detail = Outcome.FAILURE, f"crash: {exc}"
+        except (DeadlockError, CommunicatorError) as exc:
+            outcome, detail = Outcome.FAILURE, f"hang: {exc}"
+        else:
+            outcome = classify_outcome(outs[0], reference, app.verify)
+        record = TrialRecord(
+            outcome=outcome,
+            n_contaminated=tracer.contaminated_count(),
+            activated=tracer.all_flips_activated,
+            detail=detail,
+        )
+        key = (record.outcome, record.n_contaminated, record.activated)
+        joint[key] = joint.get(key, 0) + 1
+        if keep_records:
+            records.append(record)
+    injection_time = time.perf_counter() - t1
+
+    return CampaignResult(
+        app_name=app.name,
+        deployment=deployment,
+        joint=joint,
+        parallel_unique_fraction=profile.parallel_unique_fraction(),
+        total_instructions=profile.total_instructions(),
+        candidate_instructions=sum(profile.candidates(r) for r in profile.ranks),
+        profile_time=profile_time,
+        injection_time=injection_time,
+        records=records,
+    )

@@ -1,0 +1,82 @@
+"""Dynamic-instruction profiles collected by the tracer's profiling pass.
+
+A profile records, per (rank, region, instruction kind), how many dynamic
+scalar FP instructions an execution performed.  It serves three purposes:
+
+* it defines the *candidate space* from which injection plans sample
+  (FP adds and multiplies, paper §2);
+* region shares give the ``prob1``/``prob2`` weights of model Eq. 1 and
+  reproduce Table 1 (share of parallel-unique computation);
+* total counts reproduce the §1 motivation numbers (instruction-count
+  growth of parallel vs serial execution under instrumentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.taint.region import Region
+from repro.taint.tracer_api import OpKind
+
+__all__ = ["InstructionProfile"]
+
+
+@dataclass
+class InstructionProfile:
+    """Instruction counts per ``(rank, region, kind)``."""
+
+    counts: dict[tuple[int, Region, OpKind], int] = field(default_factory=dict)
+
+    def record(self, rank: int, region: Region, kind: OpKind, count: int) -> None:
+        """Accumulate ``count`` instructions (used by the tracer)."""
+        if count:
+            key = (rank, region, kind)
+            self.counts[key] = self.counts.get(key, 0) + int(count)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> list[int]:
+        """Ranks that executed at least one traced instruction."""
+        return sorted({rank for rank, _, _ in self.counts})
+
+    def candidates(self, rank: int, region: Region | None = None) -> int:
+        """Number of injection-candidate instructions (adds + muls)."""
+        return sum(
+            c
+            for (r, reg, kind), c in self.counts.items()
+            if r == rank and kind.is_candidate and (region is None or reg == region)
+        )
+
+    def total_instructions(self, rank: int | None = None) -> int:
+        """All traced scalar FP instructions (candidates + passive)."""
+        return sum(
+            c for (r, _, _), c in self.counts.items() if rank is None or r == rank
+        )
+
+    def region_candidates(self, region: Region) -> int:
+        """Candidate instructions across all ranks within ``region``."""
+        return sum(
+            c
+            for (_, reg, kind), c in self.counts.items()
+            if reg == region and kind.is_candidate
+        )
+
+    def parallel_unique_fraction(self) -> float:
+        """Share of candidate instructions in parallel-unique computation.
+
+        The reproduction's proxy for Table 1's execution-time share: the
+        probability that a uniformly chosen candidate instruction lies in
+        the parallel-unique region.
+        """
+        unique = self.region_candidates(Region.PARALLEL_UNIQUE)
+        total = unique + self.region_candidates(Region.COMMON)
+        return unique / total if total else 0.0
+
+    def merged(self) -> dict[OpKind, int]:
+        """Counts per kind summed over ranks and regions."""
+        out: dict[OpKind, int] = {}
+        for (_, _, kind), c in self.counts.items():
+            out[kind] = out.get(kind, 0) + c
+        return out

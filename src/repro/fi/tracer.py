@@ -1,0 +1,129 @@
+"""The tracer: instruction accounting plus plan-driven flip firing.
+
+One :class:`Tracer` instance lives for one application execution.  In
+``PROFILE`` mode it only accumulates an :class:`InstructionProfile`.
+In ``INJECT`` mode it additionally walks each rank/region's candidate
+stream against the sorted flips of an :class:`InjectionPlan` and hands
+the flips that land inside the current vectorized operation back to the
+taint layer (as :class:`LaneInjection` records, with the plan's global
+stream index translated into an offset local to the operation).
+
+The tracer is also the collection point for *process contamination*:
+the taint layer and the MPI simulator call :meth:`mark_contaminated`
+whenever a rank's data diverges from the fault-free shadow — the
+quantity profiled in the paper's Figs. 1–2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.fi.plan import InjectionPlan, PlannedFlip
+from repro.fi.profile import InstructionProfile
+from repro.taint.region import Region
+from repro.taint.tracer_api import LaneInjection, OpKind
+
+__all__ = ["Tracer", "TracerMode"]
+
+
+class TracerMode(enum.Enum):
+    PROFILE = "profile"
+    INJECT = "inject"
+
+
+class _StreamCursor:
+    """Walks one (rank, region) candidate stream against its sorted flips."""
+
+    __slots__ = ("position", "pending", "next_index")
+
+    def __init__(self, flips: Sequence[PlannedFlip]):
+        self.position = 0
+        self.pending = list(flips)  # sorted by index ascending
+        self.next_index = self.pending[0].index if self.pending else None
+
+    def advance(self, count: int) -> list[PlannedFlip]:
+        """Advance by ``count`` instructions; return flips inside the window."""
+        start = self.position
+        self.position += count
+        fired: list[PlannedFlip] = []
+        while self.pending and self.pending[0].index < self.position:
+            flip = self.pending.pop(0)
+            assert flip.index >= start, "plan indices must be strictly increasing"
+            fired.append(flip)
+        self.next_index = self.pending[0].index if self.pending else None
+        return fired
+
+
+class Tracer:
+    """Implements :class:`repro.taint.tracer_api.TraceSink` for one run."""
+
+    def __init__(self, mode: TracerMode = TracerMode.PROFILE, plan: InjectionPlan | None = None):
+        self.mode = mode
+        self.plan = plan
+        self.profile = InstructionProfile()
+        self.contaminated: set[int] = set()
+        self.activated_flips: list[PlannedFlip] = []
+        self._cursors: dict[tuple[int, Region], _StreamCursor] = {}
+        if mode is TracerMode.INJECT:
+            if plan is None:
+                raise ValueError("INJECT mode requires an injection plan")
+            keys = {(f.rank, f.region) for f in plan.flips}
+            for rank, region in keys:
+                self._cursors[(rank, region)] = _StreamCursor(
+                    plan.for_rank_region(rank, region)
+                )
+        elif plan is not None:
+            raise ValueError("PROFILE mode must not carry an injection plan")
+
+    # ------------------------------------------------------------------
+    # TraceSink interface
+    # ------------------------------------------------------------------
+    def account(
+        self, rank: int, region: Region, kind: OpKind, count: int
+    ) -> Sequence[LaneInjection]:
+        if self.mode is TracerMode.PROFILE:
+            self.profile.record(rank, region, kind, count)
+        if not kind.is_candidate or count == 0:
+            return ()
+        cursor = self._cursors.get((rank, region))
+        if cursor is None:
+            return ()
+        if cursor.next_index is not None and cursor.next_index < cursor.position + count:
+            start = cursor.position
+            fired = cursor.advance(count)
+            self.activated_flips.extend(fired)
+            return [
+                LaneInjection(offset=f.index - start, operand=f.operand, bit=f.bit)
+                for f in fired
+            ]
+        cursor.position += count
+        return ()
+
+    def mark_contaminated(self, rank: int) -> None:
+        self.contaminated.add(rank)
+
+    # ------------------------------------------------------------------
+    # post-run queries
+    # ------------------------------------------------------------------
+    @property
+    def all_flips_activated(self) -> bool:
+        """True when every planned flip actually fired during execution.
+
+        A flip can miss when fault-perturbed control flow shortens the
+        instruction stream relative to the profiling pass.
+        """
+        if self.plan is None:
+            return True
+        return len(self.activated_flips) == self.plan.n_errors
+
+    def contaminated_count(self) -> int:
+        """Number of contaminated ranks, counting injected ranks.
+
+        The injected process counts as contaminated whenever a flip fired
+        in it (the paper's propagation histograms start at one process),
+        even if rounding absorbed the corruption immediately.
+        """
+        contaminated = set(self.contaminated)
+        contaminated.update(f.rank for f in self.activated_flips)
+        return len(contaminated)

@@ -1,0 +1,45 @@
+"""The paper's contribution: resilience models for large-scale prediction.
+
+Given fault-injection results from *serial* execution (with 1..p errors
+per test, sampled) and one *small-scale* parallel execution (S ranks),
+the models predict the fault-injection result of a large-scale parallel
+execution (p ranks) without ever injecting at scale:
+
+* :mod:`repro.model.result` — outcome-rate triples and conditional
+  rates extracted from campaigns;
+* :mod:`repro.model.propagation` — contaminated-process histograms, the
+  paper's Fig. 1c grouping, and the Eq. 5 small-to-large mapping;
+* :mod:`repro.model.similarity` — cosine similarity (Table 2);
+* :mod:`repro.model.sampling` — the sample-case plan for FI_ser_x;
+* :mod:`repro.model.finetune` — the alpha fine-tuning parameters;
+* :mod:`repro.model.predictor` — Eq. 1/4/8 assembled into a predictor;
+* :mod:`repro.model.metrics` — prediction error and RMSE (Eq. 9).
+"""
+
+from repro.model.result import FaultInjectionResult, result_given_contaminated
+from repro.model.propagation import (
+    PropagationProfile,
+    group_histogram,
+    map_small_to_large,
+)
+from repro.model.similarity import cosine_similarity
+from repro.model.sampling import SerialSamplePlan
+from repro.model.finetune import AlphaFineTuner, needs_fine_tuning
+from repro.model.predictor import ResiliencePredictor, PredictionInputs
+from repro.model.metrics import prediction_error, rmse
+
+__all__ = [
+    "FaultInjectionResult",
+    "result_given_contaminated",
+    "PropagationProfile",
+    "group_histogram",
+    "map_small_to_large",
+    "cosine_similarity",
+    "SerialSamplePlan",
+    "AlphaFineTuner",
+    "needs_fine_tuning",
+    "ResiliencePredictor",
+    "PredictionInputs",
+    "prediction_error",
+    "rmse",
+]

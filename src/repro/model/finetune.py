@@ -1,0 +1,87 @@
+"""Alpha fine-tuning: correcting serial emulation with small-scale data.
+
+Observation 4 warns that for some applications (the paper names FT, LU
+and MG) serial multi-error injection emulates parallel contamination
+poorly.  The paper's remedy: compare the serial and small-scale fault
+injection results; if they differ by more than a threshold (20 %),
+scale each ``FI_ser_x`` by ``alpha_x = FI_small_par_x / FI_ser_x``,
+where ``FI_small_par_x`` is the small-scale result conditioned on ``x``
+contaminated processes, and ``alpha_x = alpha_S`` beyond the small
+scale's size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fi.campaign import CampaignResult
+from repro.model.result import FaultInjectionResult, result_given_contaminated
+
+__all__ = ["needs_fine_tuning", "AlphaFineTuner"]
+
+
+def needs_fine_tuning(
+    serial: FaultInjectionResult,
+    small: FaultInjectionResult,
+    threshold: float = 0.20,
+) -> bool:
+    """The paper's trigger: do serial and small-scale results disagree?
+
+    Compares the success rates relative to the small-scale value (the
+    measurement being trusted); a disagreement above ``threshold``
+    (default 20 %, §4.2) means serial emulation is not good enough.
+    """
+    denom = max(small.success, 1e-12)
+    return abs(serial.success - small.success) / denom > threshold
+
+
+@dataclass
+class AlphaFineTuner:
+    """Per-x correction factors derived from one small-scale campaign."""
+
+    small_nprocs: int
+    alphas: dict[int, FaultInjectionResult] = field(default_factory=dict)
+    _small_conditionals: dict[int, FaultInjectionResult | None] = field(default_factory=dict)
+
+    @classmethod
+    def from_campaign(cls, small_campaign: CampaignResult) -> "AlphaFineTuner":
+        s = small_campaign.deployment.nprocs
+        tuner = cls(small_nprocs=s)
+        for x in range(1, s + 1):
+            tuner._small_conditionals[x] = result_given_contaminated(small_campaign, x)
+        return tuner
+
+    # ------------------------------------------------------------------
+    def tuned_for_group(
+        self, group: int, n_groups: int, serial_result: FaultInjectionResult
+    ) -> FaultInjectionResult:
+        """``FI'_ser = alpha * FI_ser`` for one sample group (renormalized).
+
+        The paper's worked example (§4.2) pairs sample group ``g`` with
+        the small-scale conditional ``FI_small_par_g``; with a small
+        scale larger than the sample count the pairing scales up
+        (``g -> g * S_small / n_groups``, group 1 staying at one
+        contaminated process).  Missing conditionals fall back to the
+        nearest observed smaller case, and ultimately to ``alpha = 1``.
+        """
+        if group == 1:
+            probe = 1
+        else:
+            probe = min(
+                max(group * self.small_nprocs // n_groups, 1), self.small_nprocs
+            )
+        # walk down to the nearest observed conditional ( <= probe )
+        small = None
+        for candidate in range(probe, 0, -1):
+            small = self._small_conditionals.get(candidate)
+            if small is not None:
+                break
+        if small is None:
+            return serial_result
+        # alpha_x = FI_small_par_x / FI_ser_x applied to FI_ser_x reduces
+        # to the small-scale conditional itself — exactly the paper's
+        # worked example ("FI'_ser_64 = FI_small_par4") — and stays
+        # well-defined when a serial rate is zero.
+        return FaultInjectionResult.from_rates(
+            success=small.success, sdc=small.sdc, failure=small.failure
+        )

@@ -1,0 +1,30 @@
+"""Accuracy metrics: prediction error and RMSE (paper §5, Eq. 9)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.model.result import FaultInjectionResult
+
+__all__ = ["prediction_error", "rmse"]
+
+
+def prediction_error(
+    predicted: FaultInjectionResult, measured: FaultInjectionResult
+) -> float:
+    """Absolute success-rate prediction error, in rate units.
+
+    The paper reports prediction errors as percentages of the success
+    rate scale (e.g. "average prediction error is 8%"); multiply by 100
+    to quote the same way.
+    """
+    return abs(predicted.success - measured.success)
+
+
+def rmse(pairs: Iterable[tuple[FaultInjectionResult, FaultInjectionResult]]) -> float:
+    """Eq. 9: root-mean-square of success-rate errors across benchmarks."""
+    errors = [prediction_error(p, m) for p, m in pairs]
+    if not errors:
+        raise ValueError("rmse requires at least one (predicted, measured) pair")
+    return math.sqrt(sum(e * e for e in errors) / len(errors))

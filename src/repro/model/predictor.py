@@ -1,0 +1,188 @@
+"""The resilience predictor: paper Eqs. 1, 4/7/8 assembled end to end.
+
+Inputs (everything measurable *without* large-scale injection):
+
+* serial multi-error campaigns at the sample cases (``FI_ser_x``),
+* one small-scale single-error campaign (propagation profile ``r'`` +
+  conditional results for alpha fine-tuning + the fine-tune trigger),
+* optionally a small-scale campaign restricted to the parallel-unique
+  region (``FI_par_unique``), and
+* the parallel-unique instruction share at one or more scales, used to
+  extrapolate ``prob2`` at the target scale.
+
+Output: the predicted outcome-rate triple at ``target_nprocs``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fi.campaign import CampaignResult
+from repro.model.finetune import AlphaFineTuner, needs_fine_tuning
+from repro.model.propagation import PropagationProfile, group_histogram
+from repro.model.result import FaultInjectionResult
+from repro.model.sampling import SerialSamplePlan
+
+__all__ = ["PredictionInputs", "ResiliencePredictor"]
+
+
+def extrapolate_unique_fraction(fractions: dict[int, float], target_nprocs: int) -> float:
+    """Extrapolate the parallel-unique share to the target scale.
+
+    The paper leans on execution-time prediction [Chapuis et al.] for
+    the Eq. 1 weights; we fit the measured instruction-share against
+    ``log2(p)`` (the growth law of exchange-style parallel-unique
+    computation) and clamp to [0, 0.95].
+    """
+    pts = {p: f for p, f in fractions.items() if p > 1}
+    if not pts:
+        return 0.0
+    if target_nprocs in fractions:
+        return fractions[target_nprocs]
+    if len(pts) == 1:
+        ((p, f),) = pts.items()
+        scaled = f * math.log2(target_nprocs) / math.log2(p)
+        return float(np.clip(scaled, 0.0, 0.95))
+    xs = np.log2(np.array(sorted(pts)))
+    ys = np.array([pts[p] for p in sorted(pts)])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(np.clip(slope * math.log2(target_nprocs) + intercept, 0.0, 0.95))
+
+
+@dataclass
+class PredictionInputs:
+    """Everything the model consumes (see module docstring)."""
+
+    serial_samples: dict[int, FaultInjectionResult]   # x errors -> FI_ser_x
+    small_campaign: CampaignResult                    # S ranks, 1 error/test
+    unique_result: FaultInjectionResult | None = None  # FI_par_unique
+    unique_fractions: dict[int, float] = field(default_factory=dict)  # p -> share
+    #: FI_ser with S errors — lets the fine-tune trigger compare serial
+    #: emulation of the small scale against the small-scale measurement.
+    serial_probe: FaultInjectionResult | None = None
+
+    @property
+    def small_nprocs(self) -> int:
+        return self.small_campaign.deployment.nprocs
+
+
+class ResiliencePredictor:
+    """Predicts large-scale fault-injection results (paper §4)."""
+
+    def __init__(
+        self,
+        inputs: PredictionInputs,
+        fine_tune_threshold: float = 0.20,
+        unique_ignore_below: float = 0.02,
+    ):
+        self.inputs = inputs
+        self.fine_tune_threshold = fine_tune_threshold
+        self.unique_ignore_below = unique_ignore_below
+        self._small_profile = PropagationProfile.from_campaign(inputs.small_campaign)
+        self._small_overall = FaultInjectionResult.from_campaign(inputs.small_campaign)
+        self._tuner = AlphaFineTuner.from_campaign(inputs.small_campaign)
+
+    # ------------------------------------------------------------------
+    @property
+    def fine_tuning_active(self) -> bool:
+        """The paper's >20 % trigger: is serial emulation good enough?
+
+        The small scale is *emulated* from serial results — single-error
+        serial for the one-process-contaminated mass, S-error serial
+        (the probe) for the propagated mass — and compared against the
+        measured small-scale result.  Disagreement beyond the threshold
+        means serial multi-error injection does not model concurrent
+        contamination for this application (paper names FT, LU, MG) and
+        the alpha fine-tuning takes over.
+        """
+        serial_1 = self.inputs.serial_samples.get(1)
+        if serial_1 is None:
+            raise ConfigurationError("serial sample for x=1 error is required")
+        probe = self.inputs.serial_probe
+        r1 = self._small_profile.r(1)
+        if probe is None:
+            emulated = serial_1
+        else:
+            emulated = FaultInjectionResult.from_rates(
+                success=r1 * serial_1.success + (1 - r1) * probe.success,
+                sdc=r1 * serial_1.sdc + (1 - r1) * probe.sdc,
+                failure=r1 * serial_1.failure + (1 - r1) * probe.failure,
+            )
+        return needs_fine_tuning(
+            emulated, self._small_overall, self.fine_tune_threshold
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, target_nprocs: int) -> FaultInjectionResult:
+        """Eq. 1: weighted sum of the common and parallel-unique terms."""
+        common = self.predict_common(target_nprocs)
+        prob2 = extrapolate_unique_fraction(
+            self.inputs.unique_fractions, target_nprocs
+        )
+        if prob2 < self.unique_ignore_below or self.inputs.unique_result is None:
+            # Observation 2: the parallel-unique term is negligible.
+            return common
+        unique = self.inputs.unique_result
+        prob1 = 1.0 - prob2
+        return FaultInjectionResult.from_rates(
+            success=prob1 * common.success + prob2 * unique.success,
+            sdc=prob1 * common.sdc + prob2 * unique.sdc,
+            failure=prob1 * common.failure + prob2 * unique.failure,
+        )
+
+    def predict_common(self, target_nprocs: int) -> FaultInjectionResult:
+        """Eq. 8: FI_par_common = sum_g r'_g * FI'_ser(sample of group g).
+
+        The small-scale propagation profile is first re-grouped to the
+        sample-plan group count (identical when the small scale and the
+        sample count coincide, the paper's default).
+        """
+        samples = self.inputs.serial_samples
+        plan = SerialSamplePlan(
+            large_nprocs=target_nprocs, n_samples=self._group_count(samples)
+        )
+        weights = self._group_weights(plan.n_samples)
+        tune = self.fine_tuning_active
+        succ = sdc = fail = 0.0
+        for g, case in enumerate(plan.sample_cases, start=1):
+            fi = samples.get(case)
+            if fi is None:
+                raise ConfigurationError(
+                    f"missing serial sample for x={case} errors "
+                    f"(plan cases: {plan.sample_cases})"
+                )
+            if tune:
+                fi = self._tuner.tuned_for_group(g, plan.n_samples, fi)
+            w = weights[g - 1]
+            succ += w * fi.success
+            sdc += w * fi.sdc
+            fail += w * fi.failure
+        return FaultInjectionResult.from_rates(succ, sdc, fail)
+
+    # ------------------------------------------------------------------
+    def _group_count(self, samples: dict[int, FaultInjectionResult]) -> int:
+        """Number of sample groups = number of serial sample campaigns."""
+        n = len(samples)
+        if n < 1:
+            raise ConfigurationError("at least one serial sample is required")
+        return n
+
+    def _group_weights(self, n_groups: int) -> np.ndarray:
+        """r' aggregated into the sample-plan's groups.
+
+        When the small scale S equals the group count this is exactly
+        the small-scale histogram (paper Eq. 8); a larger small scale is
+        first grouped down (e.g. S = 8 predicting with 4 samples).
+        """
+        s = self._small_profile.nprocs
+        if s == n_groups:
+            return self._small_profile.as_array()
+        if s % n_groups == 0:
+            return group_histogram(self._small_profile, n_groups)
+        raise ConfigurationError(
+            f"small scale {s} incompatible with {n_groups} sample groups"
+        )

@@ -1,0 +1,97 @@
+"""Fault-injection result triples (success / SDC / failure rates).
+
+The paper's "fault injection result" is, for each outcome, the fraction
+of tests with that outcome (§2).  :class:`FaultInjectionResult` carries
+the full triple so the model can predict all three rates at once; the
+paper's figures focus on the success rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import Outcome
+
+__all__ = ["FaultInjectionResult", "result_given_contaminated"]
+
+
+@dataclass(frozen=True)
+class FaultInjectionResult:
+    """Outcome rates of one deployment (or one conditional slice of it)."""
+
+    success: float
+    sdc: float
+    failure: float
+    n_trials: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.success + self.sdc + self.failure
+        if self.n_trials and not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(f"outcome rates must sum to 1, got {total}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_campaign(cls, campaign: CampaignResult) -> "FaultInjectionResult":
+        return cls(
+            success=campaign.success_rate,
+            sdc=campaign.sdc_rate,
+            failure=campaign.failure_rate,
+            n_trials=campaign.n_trials,
+        )
+
+    @classmethod
+    def from_rates(cls, success: float, sdc: float, failure: float) -> "FaultInjectionResult":
+        """Model-predicted triple (not tied to a trial count)."""
+        return cls(success=success, sdc=sdc, failure=failure, n_trials=0)
+
+    # ------------------------------------------------------------------
+    def rate(self, outcome: Outcome) -> float:
+        return {
+            Outcome.SUCCESS: self.success,
+            Outcome.SDC: self.sdc,
+            Outcome.FAILURE: self.failure,
+        }[outcome]
+
+    def normalized(self) -> "FaultInjectionResult":
+        """Rescale the triple to sum to one (used after fine-tuning)."""
+        total = self.success + self.sdc + self.failure
+        if total <= 0:
+            return FaultInjectionResult.from_rates(1.0, 0.0, 0.0)
+        return FaultInjectionResult.from_rates(
+            self.success / total, self.sdc / total, self.failure / total
+        )
+
+    def success_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval on the success rate."""
+        if self.n_trials == 0:
+            return (self.success, self.success)
+        half = z * math.sqrt(
+            max(self.success * (1.0 - self.success), 0.0) / self.n_trials
+        )
+        return (max(self.success - half, 0.0), min(self.success + half, 1.0))
+
+
+def result_given_contaminated(
+    campaign: CampaignResult, n_contaminated: int
+) -> FaultInjectionResult | None:
+    """Outcome rates among activated tests with ``n`` ranks contaminated.
+
+    The quantity plotted on the paper's Fig. 3 parallel curves and used
+    as ``FI_small_par_x`` by the alpha fine-tuning.  Returns None when no
+    test contaminated exactly ``n`` ranks (the paper's missing bars).
+    """
+    counts = {Outcome.SUCCESS: 0, Outcome.SDC: 0, Outcome.FAILURE: 0}
+    for (outcome, ncont, activated), c in campaign.joint.items():
+        if activated and ncont == n_contaminated:
+            counts[outcome] += c
+    total = sum(counts.values())
+    if total == 0:
+        return None
+    return FaultInjectionResult(
+        success=counts[Outcome.SUCCESS] / total,
+        sdc=counts[Outcome.SDC] / total,
+        failure=counts[Outcome.FAILURE] / total,
+        n_trials=total,
+    )

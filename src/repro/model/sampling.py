@@ -1,0 +1,56 @@
+"""The sampling plan for serial fault-injection results (paper §4.2).
+
+Measuring ``FI_ser_x`` for every x in 1..p is exactly what the paper is
+trying to avoid; instead ``S`` sample cases are measured and every other
+x borrows its nearest sample's result.  The sample cases evenly cover
+the space: ``x = 1, 2p/S, 3p/S, ..., p`` (the paper's example with
+p = 64, S = 4 measures x in {1, 32, 48, 64}), and case ``x`` maps to the
+sample of its group ``g = ceil(x S / p)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SerialSamplePlan"]
+
+
+@dataclass(frozen=True)
+class SerialSamplePlan:
+    """Which serial multi-error deployments to run, and the x -> sample map."""
+
+    large_nprocs: int
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {self.n_samples}")
+        if self.large_nprocs % self.n_samples:
+            raise ConfigurationError(
+                f"large scale {self.large_nprocs} must be a multiple of "
+                f"the sample count {self.n_samples}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_cases(self) -> tuple[int, ...]:
+        """Error counts to actually measure in serial execution.
+
+        ``1`` for the first group (the overwhelmingly common single-
+        process case), then each further group's upper edge ``g * p/S``.
+        """
+        p, s = self.large_nprocs, self.n_samples
+        return tuple([1] + [g * p // s for g in range(2, s + 1)])
+
+    def group_of(self, x: int) -> int:
+        """1-based group index of case ``x`` (x errors / x contaminated)."""
+        if not 1 <= x <= self.large_nprocs:
+            raise ConfigurationError(f"x={x} outside [1, {self.large_nprocs}]")
+        return math.ceil(x * self.n_samples / self.large_nprocs)
+
+    def sample_for(self, x: int) -> int:
+        """The measured sample case whose result stands in for case ``x``."""
+        return self.sample_cases[self.group_of(x) - 1]

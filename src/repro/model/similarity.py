@@ -1,0 +1,24 @@
+"""Cosine similarity between propagation vectors (paper Table 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_similarity"]
+
+
+def cosine_similarity(a, b) -> float:
+    """Cosine of the angle between two non-negative vectors.
+
+    The paper's Table-2 metric: 1 means the small-scale propagation
+    profile matches the grouped large-scale profile, 0 means orthogonal.
+    Zero vectors are defined to have similarity 0.
+    """
+    va = np.asarray(a, dtype=np.float64)
+    vb = np.asarray(b, dtype=np.float64)
+    if va.shape != vb.shape:
+        raise ValueError(f"vector shapes differ: {va.shape} vs {vb.shape}")
+    na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.clip(np.dot(va, vb) / (na * nb), -1.0, 1.0))

@@ -1,0 +1,33 @@
+"""A deterministic simulated MPI runtime for SPMD generator programs.
+
+Each rank of an application is a Python generator that yields
+*communication requests* built by its :class:`Communicator` handle and
+receives the communication result at the yield point::
+
+    def program(comm, fp):
+        local_sum = fp.dot(x, x)
+        total = yield comm.allreduce(local_sum, op="sum")
+        ...
+        return {"answer": total.value}
+
+The :class:`Scheduler` advances all ranks, matching point-to-point
+messages (eager/buffered sends, FIFO per channel, tag and source
+wildcards) and collectives (bcast, reduce, allreduce, gather, allgather,
+scatter, alltoall, barrier), and raises
+:class:`repro.errors.DeadlockError` when no progress is possible — the
+"hang" outcome of a fault-injection test.
+
+Payloads are :class:`repro.taint.TArray` values (or plain Python data).
+Whenever a delivered payload carries diverged data, the receiving rank
+is reported to the tracer as *contaminated* — this implements the
+paper's cross-process error-propagation profiling (Figs. 1–2): an error
+spreads to another MPI process exactly when communicated values differ
+from the fault-free execution.
+"""
+
+from repro.mpisim.requests import ANY, Request
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.scheduler import Scheduler
+from repro.mpisim.runner import execute_spmd
+
+__all__ = ["ANY", "Request", "Communicator", "Scheduler", "execute_spmd"]

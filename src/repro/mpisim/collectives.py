@@ -1,0 +1,66 @@
+"""Collective-operation semantics over TArray / plain payloads.
+
+Reductions over TArrays compute the golden and faulty paths with the
+*same association order* (a single stacked numpy reduce per path), so
+divergence of a reduced value reflects only genuinely different inputs,
+never rounding noise between the two paths.  A diverged contribution
+whose effect cancels in the reduction (absorbed by rounding) yields a
+clean result — and therefore, per the value-based contamination model,
+does *not* contaminate the receiving ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.taint.tarray import TArray
+
+__all__ = ["reduce_payloads", "payload_diverged"]
+
+_NUMPY_REDUCERS = {
+    "sum": lambda stack: np.sum(stack, axis=0),
+    "prod": lambda stack: np.prod(stack, axis=0),
+    "max": lambda stack: np.max(stack, axis=0),
+    "min": lambda stack: np.min(stack, axis=0),
+}
+
+_PYTHON_REDUCERS = {
+    "sum": sum,
+    "prod": lambda xs: int(np.prod(list(xs))) if all(isinstance(x, int) for x in xs) else float(np.prod(list(xs))),
+    "max": max,
+    "min": min,
+}
+
+
+def reduce_payloads(payloads: Sequence[Any], op: str) -> Any:
+    """Reduce one payload per rank into a single result.
+
+    TArray payloads reduce on both value paths; uniform plain payloads
+    (ints/floats) reduce with Python semantics.
+    """
+    if not payloads:
+        raise CommunicatorError("cannot reduce an empty payload list")
+    if all(isinstance(p, TArray) for p in payloads):
+        reducer = _NUMPY_REDUCERS[op]
+        golden = reducer(np.stack([p.golden for p in payloads]))
+        if not any(p.diverged for p in payloads):
+            return TArray(golden)
+        faulty = reducer(np.stack([p.faulty for p in payloads]))
+        return TArray(golden, faulty)
+    if any(isinstance(p, TArray) for p in payloads):
+        raise CommunicatorError("reduction payloads mix TArray and plain values")
+    return _PYTHON_REDUCERS[op](payloads)
+
+
+def payload_diverged(payload: Any) -> bool:
+    """Does ``payload`` (possibly nested) carry any diverged TArray?"""
+    if isinstance(payload, TArray):
+        return payload.diverged
+    if isinstance(payload, dict):
+        return any(payload_diverged(v) for v in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return any(payload_diverged(v) for v in payload)
+    return False

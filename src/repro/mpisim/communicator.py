@@ -1,0 +1,144 @@
+"""Per-rank communicator handle: builds requests for ``yield``."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import CommunicatorError
+from repro.mpisim.requests import (
+    ANY,
+    CollectiveKind,
+    CollectiveRequest,
+    RecvRequest,
+    SendRecvRequest,
+    SendRequest,
+)
+
+__all__ = ["Communicator"]
+
+_REDUCTION_OPS = ("sum", "max", "min", "prod")
+
+
+class Communicator:
+    """The MPI-like API surface visible to one rank's program.
+
+    Methods *construct request objects*; the program must ``yield`` them
+    to the scheduler and read the operation's result from the yield
+    expression (see :mod:`repro.mpisim`).
+    """
+
+    def __init__(self, rank: int, size: int):
+        if not 0 <= rank < size:
+            raise CommunicatorError(f"rank {rank} outside communicator of size {size}")
+        self.rank = rank
+        self.size = size
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> int:
+        if not 0 <= peer < self.size:
+            raise CommunicatorError(f"{what} rank {peer} outside communicator of size {self.size}")
+        return peer
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> SendRequest:
+        """Buffered send to ``dest`` (completes immediately)."""
+        return SendRequest(rank=self.rank, dest=self._check_peer(dest, "destination"), tag=tag, payload=payload)
+
+    def recv(self, source: "int | object" = ANY, tag: "int | object" = ANY) -> RecvRequest:
+        """Blocking receive from ``source`` (or :data:`ANY`)."""
+        if source is not ANY:
+            self._check_peer(int(source), "source")  # type: ignore[arg-type]
+        return RecvRequest(rank=self.rank, source=source, tag=tag)
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: "int | object | None" = None,
+        send_tag: int = 0,
+        recv_tag: "int | object | None" = None,
+    ) -> SendRecvRequest:
+        """Fused exchange (like ``MPI_Sendrecv``); defaults to a pairwise
+        swap with ``dest`` using the send tag."""
+        if source is None:
+            source = dest
+        if recv_tag is None:
+            recv_tag = send_tag
+        if source is not ANY:
+            self._check_peer(int(source), "source")  # type: ignore[arg-type]
+        return SendRecvRequest(
+            rank=self.rank,
+            dest=self._check_peer(dest, "destination"),
+            send_tag=send_tag,
+            payload=payload,
+            source=source,
+            recv_tag=recv_tag,
+        )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> CollectiveRequest:
+        return CollectiveRequest(rank=self.rank, kind=CollectiveKind.BARRIER)
+
+    def bcast(self, payload: Any = None, root: int = 0) -> CollectiveRequest:
+        """Broadcast ``payload`` from ``root``; non-roots pass None."""
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.BCAST,
+            root=self._check_peer(root, "root"), payload=payload,
+        )
+
+    def reduce(self, payload: Any, op: str = "sum", root: int = 0) -> CollectiveRequest:
+        """Reduce to ``root``; non-roots receive ``None``."""
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.REDUCE,
+            root=self._check_peer(root, "root"), payload=payload, op=self._check_op(op),
+        )
+
+    def allreduce(self, payload: Any, op: str = "sum") -> CollectiveRequest:
+        """Reduce and deliver the result to every rank."""
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.ALLREDUCE, payload=payload, op=self._check_op(op),
+        )
+
+    def gather(self, payload: Any, root: int = 0) -> CollectiveRequest:
+        """Root receives the list of payloads in rank order."""
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.GATHER,
+            root=self._check_peer(root, "root"), payload=payload,
+        )
+
+    def allgather(self, payload: Any) -> CollectiveRequest:
+        """Every rank receives the list of payloads in rank order."""
+        return CollectiveRequest(rank=self.rank, kind=CollectiveKind.ALLGATHER, payload=payload)
+
+    def scatter(self, payloads: "Sequence[Any] | None" = None, root: int = 0) -> CollectiveRequest:
+        """Root provides one payload per rank; each rank receives its own."""
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise CommunicatorError(
+                    f"scatter root must provide exactly {self.size} payloads"
+                )
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.SCATTER,
+            root=self._check_peer(root, "root"),
+            payload=list(payloads) if payloads is not None else None,
+        )
+
+    def alltoall(self, payloads: Sequence[Any]) -> CollectiveRequest:
+        """Each rank provides one payload per destination rank."""
+        if len(payloads) != self.size:
+            raise CommunicatorError(
+                f"alltoall requires exactly {self.size} payloads, got {len(payloads)}"
+            )
+        return CollectiveRequest(
+            rank=self.rank, kind=CollectiveKind.ALLTOALL, payload=list(payloads),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_op(op: str) -> str:
+        if op not in _REDUCTION_OPS:
+            raise CommunicatorError(f"unknown reduction op {op!r}; use one of {_REDUCTION_OPS}")
+        return op

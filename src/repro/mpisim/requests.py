@@ -1,0 +1,90 @@
+"""Request objects yielded by SPMD rank generators to the scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ANY", "CollectiveKind", "Request", "SendRequest", "RecvRequest", "CollectiveRequest"]
+
+
+class _Wildcard:
+    """Singleton wildcard for source/tag matching (like MPI_ANY_SOURCE)."""
+
+    _instance: "_Wildcard | None" = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ANY"
+
+
+ANY = _Wildcard()
+
+
+class CollectiveKind(enum.Enum):
+    BARRIER = "barrier"
+    BCAST = "bcast"
+    REDUCE = "reduce"
+    ALLREDUCE = "allreduce"
+    GATHER = "gather"
+    ALLGATHER = "allgather"
+    SCATTER = "scatter"
+    ALLTOALL = "alltoall"
+
+
+@dataclass
+class Request:
+    """Base class; the scheduler dispatches on the concrete type."""
+
+    rank: int
+
+
+@dataclass
+class SendRequest(Request):
+    """Eager (buffered) send: completes immediately, payload is enqueued."""
+
+    dest: int
+    tag: int
+    payload: Any
+
+
+@dataclass
+class RecvRequest(Request):
+    """Blocking receive; ``source``/``tag`` may be :data:`ANY`."""
+
+    source: "int | _Wildcard"
+    tag: "int | _Wildcard"
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (self.source is ANY or self.source == source) and (
+            self.tag is ANY or self.tag == tag
+        )
+
+
+@dataclass
+class SendRecvRequest(Request):
+    """Fused exchange: eager send plus blocking receive in one yield."""
+
+    dest: int
+    send_tag: int
+    payload: Any
+    source: "int | _Wildcard"
+    recv_tag: "int | _Wildcard"
+
+    def recv_part(self) -> RecvRequest:
+        return RecvRequest(rank=self.rank, source=self.source, tag=self.recv_tag)
+
+
+@dataclass
+class CollectiveRequest(Request):
+    """One rank's participation in a collective operation."""
+
+    kind: CollectiveKind
+    root: int | None = None
+    payload: Any = None
+    op: str | None = None    # reduction operator for (all)reduce

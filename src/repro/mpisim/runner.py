@@ -1,0 +1,33 @@
+"""Glue between application specs, the taint layer and the scheduler."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.scheduler import Scheduler
+from repro.taint.ops import FPOps
+from repro.taint.tracer_api import TraceSink
+
+__all__ = ["execute_spmd"]
+
+#: An SPMD program: (rank, size, comm, fp) -> generator returning rank output.
+SPMDProgram = Callable[[int, int, Communicator, FPOps], Generator]
+
+
+def execute_spmd(
+    program: SPMDProgram,
+    size: int,
+    sink: TraceSink | None = None,
+    max_steps: int | None = None,
+) -> list[Any]:
+    """Run ``program`` on ``size`` simulated ranks; return per-rank outputs.
+
+    Each rank receives its own :class:`FPOps` bound to the shared trace
+    sink, so instruction accounting and contamination reports carry the
+    correct rank id.
+    """
+    def factory(rank: int, comm: Communicator):
+        return program(rank, size, comm, FPOps(sink, rank))
+
+    return Scheduler(size, factory, sink=sink, max_steps=max_steps).run()

@@ -1,0 +1,299 @@
+"""The SPMD scheduler: advances rank generators and matches communication.
+
+Determinism: ranks are advanced in a fixed round-robin order and message
+queues are FIFO per destination, so a given (program, size, injection
+plan) always executes identically — a requirement for reproducible
+fault-injection campaigns.
+
+Failure semantics: if every unfinished rank is blocked on communication
+that can never complete (missing sends, partially-entered collectives,
+or a collective some ranks exited the program without joining) the
+scheduler raises :class:`~repro.errors.DeadlockError`; mismatched
+collective kinds/roots/ops raise
+:class:`~repro.errors.CommunicatorError`.  The fault-injection campaign
+maps both onto the paper's "hang/crash" FAILURE outcome.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.errors import CommunicatorError, DeadlockError, SimulatedHangError
+from repro.mpisim.collectives import payload_diverged, reduce_payloads
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.requests import (
+    CollectiveKind,
+    CollectiveRequest,
+    RecvRequest,
+    Request,
+    SendRecvRequest,
+    SendRequest,
+)
+from repro.taint.tracer_api import NullSink, TraceSink
+
+__all__ = ["Scheduler"]
+
+#: program_factory(rank, comm) -> generator yielding Requests, returning output
+ProgramFactory = Callable[[int, Communicator], Generator[Request, Any, Any]]
+
+
+@dataclass
+class _Envelope:
+    source: int
+    tag: int
+    payload: Any
+
+
+@dataclass
+class _RankState:
+    generator: Generator[Request, Any, Any]
+    done: bool = False
+    result: Any = None
+    blocked_on: Request | None = None
+    mailbox: deque = field(default_factory=deque)
+
+
+class Scheduler:
+    """Runs an SPMD program on a simulated communicator of ``size`` ranks."""
+
+    def __init__(
+        self,
+        size: int,
+        program_factory: ProgramFactory,
+        sink: TraceSink | None = None,
+        max_steps: int | None = None,
+        record_traffic: bool = False,
+    ):
+        if size < 1:
+            raise CommunicatorError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self._sink: TraceSink = sink if sink is not None else NullSink()
+        self._max_steps = max_steps
+        self._steps = 0
+        #: (src, dst) -> point-to-point message count; filled when
+        #: record_traffic is set (communication-topology analysis).
+        self.traffic: dict[tuple[int, int], int] | None = (
+            {} if record_traffic else None
+        )
+        #: number of completed collectives per kind name.
+        self.collective_counts: dict[str, int] | None = (
+            {} if record_traffic else None
+        )
+        self._states = [
+            _RankState(generator=program_factory(rank, Communicator(rank, size)))
+            for rank in range(size)
+        ]
+        self._ready: deque[tuple[int, Any]] = deque((r, None) for r in range(size))
+        self._collective_posts: dict[int, CollectiveRequest] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Generator resumptions executed so far (one per compute burst
+        between communication events) — a proxy for the runtime events a
+        binary-instrumentation injector would have to process."""
+        return self._steps
+
+    def run(self) -> list[Any]:
+        """Execute all ranks to completion; return their return values.
+
+        Floating-point warnings are suppressed for the whole execution:
+        injected bit flips legitimately produce overflow/NaN/inf on the
+        faulty path, and applications handle them through their own
+        guards and the outcome classification, not through warnings.
+        """
+        with np.errstate(all="ignore"):
+            return self._run()
+
+    def _run(self) -> list[Any]:
+        while True:
+            while self._ready:
+                rank, resume = self._ready.popleft()
+                self._advance(rank, resume)
+            if self._try_complete_collective():
+                continue
+            if all(s.done for s in self._states):
+                return [s.result for s in self._states]
+            self._raise_deadlock()
+
+    # ------------------------------------------------------------------
+    # rank stepping
+    # ------------------------------------------------------------------
+    def _advance(self, rank: int, resume: Any) -> None:
+        """Run ``rank`` until it blocks or finishes."""
+        state = self._states[rank]
+        state.blocked_on = None
+        while True:
+            self._steps += 1
+            if self._max_steps is not None and self._steps > self._max_steps:
+                raise SimulatedHangError(
+                    f"scheduler exceeded {self._max_steps} steps — runaway execution"
+                )
+            try:
+                request = state.generator.send(resume)
+            except StopIteration as stop:
+                state.done = True
+                state.result = stop.value
+                return
+            resume = None
+            if isinstance(request, SendRequest):
+                self._deliver_send(request)
+                continue
+            if isinstance(request, RecvRequest):
+                matched = self._match_recv(rank, request)
+                if matched is None:
+                    state.blocked_on = request
+                    return
+                resume = matched
+                continue
+            if isinstance(request, SendRecvRequest):
+                self._deliver_send(
+                    SendRequest(
+                        rank=request.rank, dest=request.dest,
+                        tag=request.send_tag, payload=request.payload,
+                    )
+                )
+                recv = request.recv_part()
+                matched = self._match_recv(rank, recv)
+                if matched is None:
+                    state.blocked_on = recv
+                    return
+                resume = matched
+                continue
+            if isinstance(request, CollectiveRequest):
+                self._collective_posts[rank] = request
+                state.blocked_on = request
+                return
+            raise CommunicatorError(
+                f"rank {rank} yielded a non-request object: {request!r}"
+            )
+
+    def _deliver_send(self, request: SendRequest) -> None:
+        if self.traffic is not None:
+            key = (request.rank, request.dest)
+            self.traffic[key] = self.traffic.get(key, 0) + 1
+        dest = self._states[request.dest]
+        if dest.done:
+            raise CommunicatorError(
+                f"rank {request.rank} sent to rank {request.dest}, "
+                "which already finished"
+            )
+        dest.mailbox.append(
+            _Envelope(source=request.rank, tag=request.tag, payload=request.payload)
+        )
+        # If the destination is parked on a matching receive, hand over now.
+        blocked = dest.blocked_on
+        if isinstance(blocked, RecvRequest):
+            matched = self._match_recv(request.dest, blocked)
+            if matched is not None:
+                dest.blocked_on = None
+                self._ready.append((request.dest, matched))
+
+    def _match_recv(self, rank: int, request: RecvRequest) -> Any:
+        """Pop the earliest matching envelope, or None."""
+        mailbox = self._states[rank].mailbox
+        for i, env in enumerate(mailbox):
+            if request.matches(env.source, env.tag):
+                del mailbox[i]
+                if payload_diverged(env.payload):
+                    self._sink.mark_contaminated(rank)
+                return env.payload
+        return None
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _try_complete_collective(self) -> bool:
+        posts = self._collective_posts
+        if len(posts) != self.size:
+            return False
+        kinds = {p.kind for p in posts.values()}
+        if len(kinds) != 1:
+            raise CommunicatorError(f"mismatched collectives posted: {sorted(k.value for k in kinds)}")
+        kind = kinds.pop()
+        roots = {p.root for p in posts.values()}
+        if kind in (CollectiveKind.BCAST, CollectiveKind.REDUCE,
+                    CollectiveKind.GATHER, CollectiveKind.SCATTER) and len(roots) != 1:
+            raise CommunicatorError(f"{kind.value} posted with differing roots {sorted(roots)}")
+        ops = {p.op for p in posts.values()}
+        if kind in (CollectiveKind.REDUCE, CollectiveKind.ALLREDUCE) and len(ops) != 1:
+            raise CommunicatorError(f"{kind.value} posted with differing ops {sorted(ops)}")
+
+        if self.collective_counts is not None:
+            op = posts[0].op
+            label = f"{kind.value}:{op}" if op else kind.value
+            self.collective_counts[label] = self.collective_counts.get(label, 0) + 1
+        results = self._collective_results(kind, posts)
+        self._collective_posts = {}
+        for rank in range(self.size):
+            self._states[rank].blocked_on = None
+            delivered = results[rank]
+            # Receiving data that differs from the fault-free run
+            # contaminates the receiver — except its own round-tripped
+            # contribution (bcast from self, own gather slot) which it
+            # already holds.
+            if payload_diverged(delivered):
+                self._sink.mark_contaminated(rank)
+            self._ready.append((rank, delivered))
+        return True
+
+    def _collective_results(
+        self, kind: CollectiveKind, posts: dict[int, CollectiveRequest]
+    ) -> list[Any]:
+        ordered = [posts[r].payload for r in range(self.size)]
+        if kind is CollectiveKind.BARRIER:
+            return [None] * self.size
+        if kind is CollectiveKind.BCAST:
+            root = posts[0].root
+            assert root is not None
+            return [ordered[root]] * self.size
+        if kind is CollectiveKind.REDUCE:
+            root = posts[0].root
+            assert root is not None
+            reduced = reduce_payloads(ordered, posts[0].op or "sum")
+            return [reduced if r == root else None for r in range(self.size)]
+        if kind is CollectiveKind.ALLREDUCE:
+            reduced = reduce_payloads(ordered, posts[0].op or "sum")
+            return [reduced] * self.size
+        if kind is CollectiveKind.GATHER:
+            root = posts[0].root
+            assert root is not None
+            return [list(ordered) if r == root else None for r in range(self.size)]
+        if kind is CollectiveKind.ALLGATHER:
+            return [list(ordered) for _ in range(self.size)]
+        if kind is CollectiveKind.SCATTER:
+            root = posts[0].root
+            assert root is not None
+            chunks = posts[root].payload
+            if chunks is None or len(chunks) != self.size:
+                raise CommunicatorError("scatter root did not provide one payload per rank")
+            return list(chunks)
+        if kind is CollectiveKind.ALLTOALL:
+            for r, payload in enumerate(ordered):
+                if not isinstance(payload, list) or len(payload) != self.size:
+                    raise CommunicatorError(
+                        f"alltoall rank {r} did not provide one payload per rank"
+                    )
+            return [[ordered[src][dst] for src in range(self.size)] for dst in range(self.size)]
+        raise AssertionError(f"unhandled collective kind {kind}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _raise_deadlock(self) -> None:
+        waiting = []
+        for rank, state in enumerate(self._states):
+            if state.done:
+                continue
+            blocked = state.blocked_on
+            if isinstance(blocked, RecvRequest):
+                waiting.append(f"rank {rank} waiting on recv(source={blocked.source}, tag={blocked.tag})")
+            elif isinstance(blocked, CollectiveRequest):
+                waiting.append(f"rank {rank} waiting in {blocked.kind.value}")
+            else:  # pragma: no cover - defensive
+                waiting.append(f"rank {rank} blocked on {blocked!r}")
+        raise DeadlockError("no runnable rank: " + "; ".join(waiting))

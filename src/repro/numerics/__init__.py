@@ -1,0 +1,19 @@
+"""Low-level numerics: IEEE-754 bit manipulation for fault injection."""
+
+from repro.numerics.bits import (
+    BitField,
+    classify_bit,
+    flip_bit_array,
+    flip_bit_scalar,
+    float_to_bits,
+    bits_to_float,
+)
+
+__all__ = [
+    "BitField",
+    "classify_bit",
+    "flip_bit_array",
+    "flip_bit_scalar",
+    "float_to_bits",
+    "bits_to_float",
+]

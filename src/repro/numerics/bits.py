@@ -1,0 +1,115 @@
+"""IEEE-754 single-bit flips — the paper's fault model.
+
+The fault model (paper §2) is a single bit flip in one operand of a
+randomly selected dynamic floating-point instruction.  This module
+implements the flip itself: reinterpret a float's storage as an unsigned
+integer, XOR one bit, reinterpret back.  Flips are exact involutions
+(flipping the same bit twice restores the original datum, including NaN
+payloads and signed zeros), which the campaign layer relies on.
+
+Supported dtypes are ``float64`` (the default compute type of every
+mini-app) and ``float32``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "BitField",
+    "classify_bit",
+    "flip_bit_array",
+    "flip_bit_scalar",
+    "float_to_bits",
+    "bits_to_float",
+    "bit_width",
+]
+
+_UINT_FOR = {
+    np.dtype(np.float64): np.dtype(np.uint64),
+    np.dtype(np.float32): np.dtype(np.uint32),
+}
+
+#: (mantissa bits, exponent bits) per supported float dtype.
+_LAYOUT = {
+    np.dtype(np.float64): (52, 11),
+    np.dtype(np.float32): (23, 8),
+}
+
+
+class BitField(enum.Enum):
+    """Which IEEE-754 field a bit position falls into."""
+
+    MANTISSA = "mantissa"
+    EXPONENT = "exponent"
+    SIGN = "sign"
+
+
+def _uint_dtype(dtype: np.dtype) -> np.dtype:
+    try:
+        return _UINT_FOR[np.dtype(dtype)]
+    except KeyError:
+        raise TypeError(f"unsupported float dtype for bit flips: {dtype}") from None
+
+
+def bit_width(dtype: np.dtype) -> int:
+    """Number of storage bits for ``dtype`` (64 or 32)."""
+    return np.dtype(dtype).itemsize * 8
+
+
+def classify_bit(bit: int, dtype: np.dtype = np.dtype(np.float64)) -> BitField:
+    """Classify bit position ``bit`` (0 = LSB of mantissa) for ``dtype``."""
+    mant, expo = _LAYOUT[np.dtype(dtype)]
+    width = mant + expo + 1
+    if not 0 <= bit < width:
+        raise ValueError(f"bit must be in [0, {width}), got {bit}")
+    if bit < mant:
+        return BitField.MANTISSA
+    if bit < mant + expo:
+        return BitField.EXPONENT
+    return BitField.SIGN
+
+
+def float_to_bits(value: float, dtype: np.dtype = np.dtype(np.float64)) -> int:
+    """Return the raw storage bits of ``value`` as a Python int."""
+    dtype = np.dtype(dtype)
+    return int(np.asarray(value, dtype=dtype).view(_uint_dtype(dtype)))
+
+
+def bits_to_float(bits: int, dtype: np.dtype = np.dtype(np.float64)) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    dtype = np.dtype(dtype)
+    return float(np.asarray(bits, dtype=_uint_dtype(dtype)).view(dtype))
+
+
+def flip_bit_scalar(value: float, bit: int, dtype: np.dtype = np.dtype(np.float64)) -> float:
+    """Flip one bit of a scalar float and return the perturbed value.
+
+    ``bit`` counts from 0 (mantissa LSB) to ``bit_width - 1`` (sign bit).
+    """
+    dtype = np.dtype(dtype)
+    width = bit_width(dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit must be in [0, {width}), got {bit}")
+    return bits_to_float(float_to_bits(value, dtype) ^ (1 << bit), dtype)
+
+
+def flip_bit_array(array: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    """Return a copy of ``array`` with one bit flipped at ``flat_index``.
+
+    The input is never modified; campaigns keep the golden operand intact
+    and hand the perturbed copy to the faulty execution path.
+    """
+    arr = np.asarray(array)
+    udt = _uint_dtype(arr.dtype)
+    if not 0 <= flat_index < arr.size:
+        raise IndexError(f"flat_index {flat_index} out of range for size {arr.size}")
+    width = bit_width(arr.dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit must be in [0, {width}), got {bit}")
+    out = np.array(arr, copy=True)
+    flat = out.reshape(-1).view(udt)
+    flat[flat_index] ^= udt.type(1) << udt.type(bit)
+    return out

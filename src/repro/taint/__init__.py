@@ -1,0 +1,27 @@
+"""Dual-value shadow execution: the substrate under the fault injector.
+
+Every floating-point value an application computes is carried in a
+:class:`TArray`, which holds two ndarrays:
+
+* ``golden`` — the value the fault-free execution would hold, and
+* ``faulty`` — the value the (possibly fault-injected) execution holds.
+
+While the two are bit-identical they are *the same object*, so the
+fault-free path costs a single numpy call per operation.  After an
+injection diverges them, every traced operation computes both paths; when
+rounding re-absorbs the perturbation (the two results compare equal
+again) the arrays collapse back to a shared object.  This value-equality
+notion of contamination is exactly what the paper's P-FSEFI tool
+measures per MPI process, and it is what produces the empirical
+propagation histograms (paper Figs. 1–2).
+
+Applications perform arithmetic through :class:`repro.taint.ops.FPOps`,
+which also reports each dynamic scalar FP add/multiply to the
+fault-injection tracer (the candidate-instruction stream of paper §2).
+"""
+
+from repro.taint.region import Region
+from repro.taint.tarray import TArray, arrays_equal
+from repro.taint.ops import FPOps
+
+__all__ = ["TArray", "arrays_equal", "FPOps", "Region"]

@@ -1,0 +1,489 @@
+"""Traced floating-point operations over :class:`TArray` values.
+
+Every mini-app performs its arithmetic through an :class:`FPOps` handle,
+which
+
+1. executes the operation on the golden and faulty paths (sharing the
+   result object while they agree),
+2. reports the operation's dynamic scalar instructions to the
+   fault-injection tracer (`FP adds` and `multiplies` are the
+   *candidate* instructions of the paper's fault model, §2), and
+3. applies any bit flips the injection plan scheduled inside this very
+   operation.
+
+Injection semantics — transient operand corruption
+---------------------------------------------------
+A flip corrupts **one dynamic scalar instruction's view of one
+operand** (or its result register), exactly like a register-level flip
+under F-SEFI: the stored input arrays are never modified, only the
+output lane produced by the corrupted instruction differs.  For
+reductions, the corrupted accumulator state propagates into the rest of
+the reduction chain (emulated with a sequential-order decomposition).
+
+Rounding parity
+---------------
+Whenever an injection forces a lane or a reduction to be recomputed in
+a different association order, the golden shadow is recomputed with the
+*same* order, so golden-vs-faulty divergence reflects only the injected
+flip — never our decomposition's rounding noise.  This is what lets
+low-order-mantissa flips be genuinely absorbed by rounding, the
+mechanism behind the paper's single-process propagation mass (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.numerics.bits import flip_bit_scalar
+from repro.taint.region import Region
+from repro.taint.tarray import TArray, as_tarray
+from repro.taint.tracer_api import LaneInjection, NullSink, Operand, OpKind, TraceSink
+
+__all__ = ["FPOps"]
+
+_F64 = np.dtype(np.float64)
+
+
+def _lane_value(arr: np.ndarray, lane: int, out_shape: tuple[int, ...]) -> float:
+    """Fetch the scalar the instruction at output ``lane`` reads.
+
+    Handles numpy broadcasting: the operand is virtually expanded to the
+    output shape (a strided view, no copy) and indexed at the lane.
+    """
+    if arr.shape == out_shape:
+        return float(arr.reshape(-1)[lane])
+    if arr.size == 1:
+        return float(arr.reshape(-1)[0])
+    view = np.broadcast_to(arr, out_shape)
+    return float(view[np.unravel_index(lane, out_shape)])
+
+
+def _flip(value: float, bit: int) -> float:
+    return flip_bit_scalar(value, bit, _F64)
+
+
+def _group_injections(
+    injections: Sequence[LaneInjection],
+) -> list[tuple[int, Operand, tuple[int, ...]]]:
+    """Group same-site injections into (offset, operand, bits) events.
+
+    A multi-bit fault is expressed as several planned flips sharing one
+    dynamic instruction and operand; they must corrupt the *same* view
+    of the operand (XOR of all bits), not be applied as independent
+    recomputations.
+    """
+    grouped: dict[tuple[int, Operand], list[int]] = {}
+    for inj in injections:
+        grouped.setdefault((inj.offset, inj.operand), []).append(inj.bit)
+    return sorted(
+        (offset, operand, tuple(sorted(bits)))
+        for (offset, operand), bits in grouped.items()
+    )
+
+
+def _flip_bits(value: float, bits: tuple[int, ...]) -> float:
+    for bit in bits:
+        value = _flip(value, bit)
+    return value
+
+
+def _sum_sequential_with_injections(
+    flat: np.ndarray, injections: Sequence[LaneInjection], apply_flips: bool
+) -> float:
+    """Sum ``flat`` in sequential order, applying reduction-add flips.
+
+    Reduction add ``i`` adds element ``i + 1`` to an accumulator holding
+    the sum of elements ``0..i``.  Operand ``A`` is the accumulator,
+    ``B`` the incoming element, ``OUT`` the accumulator after the add.
+    With ``apply_flips=False`` the same association order is used without
+    flips (golden-path rounding parity).
+    """
+    if flat.size == 0:
+        return 0.0
+    acc = 0.0
+    prev = 0  # next un-consumed element index
+    pending: dict[int, list[tuple[Operand, tuple[int, ...]]]] = {}
+    for offset, operand, bits in _group_injections(injections):
+        pending.setdefault(offset, []).append((operand, bits))
+    for i in sorted(pending):
+        # the i-th reduction add consumes element i + 1
+        acc = acc + float(np.sum(flat[prev : i + 1]))
+        elem = float(flat[i + 1])
+        out_bits: tuple[int, ...] = ()
+        for operand, bits in pending[i]:
+            if apply_flips and operand == Operand.A:
+                acc = _flip_bits(acc, bits)
+            if apply_flips and operand == Operand.B:
+                elem = _flip_bits(elem, bits)
+            if operand == Operand.OUT:
+                out_bits += bits
+        acc = acc + elem
+        if apply_flips and out_bits:
+            acc = _flip_bits(acc, out_bits)
+        prev = i + 2
+    return acc + float(np.sum(flat[prev:]))
+
+
+def _segmented_sums(
+    prod: np.ndarray, indptr: np.ndarray, empty_rows: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums for CSR-style data; empty segments yield 0.0.
+
+    ``reduceat`` is only given the starts of non-empty segments (strictly
+    increasing, so each segment reduces exactly its own slice); empty
+    segments are filled with zero by scatter.
+    """
+    nrows = indptr.size - 1
+    if prod.size == 0:
+        return np.zeros(nrows)
+    if not empty_rows.any():
+        return np.add.reduceat(prod, indptr[:-1])
+    out = np.zeros(nrows)
+    out[~empty_rows] = np.add.reduceat(prod, indptr[:-1][~empty_rows])
+    return out
+
+
+class FPOps:
+    """Per-rank handle for traced floating-point computation.
+
+    Parameters
+    ----------
+    sink:
+        The fault-injection tracer (or :class:`NullSink` for plain runs).
+    rank:
+        MPI rank this handle computes for (0 in serial execution).
+    """
+
+    def __init__(self, sink: TraceSink | None = None, rank: int = 0):
+        self._sink: TraceSink = sink if sink is not None else NullSink()
+        self.rank = int(rank)
+        self._region = Region.COMMON
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def region(self, region: Region):
+        """Tag enclosed operations as belonging to ``region`` (paper §3.1)."""
+        prev, self._region = self._region, region
+        try:
+            yield self
+        finally:
+            self._region = prev
+
+    @property
+    def current_region(self) -> Region:
+        return self._region
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def asarray(data) -> TArray:
+        """Wrap uncorrupted data in a TArray."""
+        return as_tarray(data)
+
+    # ------------------------------------------------------------------
+    # elementwise binary operations
+    # ------------------------------------------------------------------
+    def add(self, a, b) -> TArray:
+        """Elementwise ``a + b`` (candidate ADD instructions)."""
+        return self._ewise2(np.add, OpKind.ADD, a, b)
+
+    def sub(self, a, b) -> TArray:
+        """Elementwise ``a - b`` (FP adder, candidate ADD instructions)."""
+        return self._ewise2(np.subtract, OpKind.ADD, a, b)
+
+    def mul(self, a, b) -> TArray:
+        """Elementwise ``a * b`` (candidate MUL instructions)."""
+        return self._ewise2(np.multiply, OpKind.MUL, a, b)
+
+    def div(self, a, b) -> TArray:
+        """Elementwise ``a / b`` (traced, but not an injection candidate)."""
+        return self._ewise2(np.divide, OpKind.DIV, a, b)
+
+    def minimum(self, a, b) -> TArray:
+        return self._ewise2(np.minimum, OpKind.OTHER, a, b)
+
+    def maximum(self, a, b) -> TArray:
+        return self._ewise2(np.maximum, OpKind.OTHER, a, b)
+
+    # ------------------------------------------------------------------
+    # elementwise unary operations (never candidates)
+    # ------------------------------------------------------------------
+    def neg(self, a) -> TArray:
+        return self._ewise1(np.negative, a)
+
+    def abs(self, a) -> TArray:
+        return self._ewise1(np.abs, a)
+
+    def sqrt(self, a) -> TArray:
+        return self._ewise1(np.sqrt, a)
+
+    def exp(self, a) -> TArray:
+        return self._ewise1(np.exp, a)
+
+    def log(self, a) -> TArray:
+        return self._ewise1(np.log, a)
+
+    def sin(self, a) -> TArray:
+        return self._ewise1(np.sin, a)
+
+    def cos(self, a) -> TArray:
+        return self._ewise1(np.cos, a)
+
+    def reciprocal(self, a) -> TArray:
+        return self._ewise1(np.reciprocal, a)
+
+    # ------------------------------------------------------------------
+    # selection / comparison (control flow reads the faulty path)
+    # ------------------------------------------------------------------
+    def where(self, cond: np.ndarray, a, b) -> TArray:
+        """Select lanes by a plain boolean mask.
+
+        The mask comes from faulty-path comparisons — the injected run
+        is the real execution — and is applied to *both* paths, mirroring
+        how a real faulty run takes one concrete control path.
+        """
+        ta, tb = as_tarray(a), as_tarray(b)
+        g = np.where(cond, ta.golden, tb.golden)
+        self._sink.account(self.rank, self._region, OpKind.OTHER, int(g.size))
+        if not ta.diverged and not tb.diverged:
+            return TArray(g)
+        out = TArray(g, np.where(cond, ta.faulty, tb.faulty))
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    def greater(self, a, b) -> np.ndarray:
+        """Faulty-path elementwise ``a > b`` as a plain boolean array."""
+        return np.asarray(as_tarray(a).faulty > as_tarray(b).faulty)
+
+    def less(self, a, b) -> np.ndarray:
+        """Faulty-path elementwise ``a < b`` as a plain boolean array."""
+        return np.asarray(as_tarray(a).faulty < as_tarray(b).faulty)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, a) -> TArray:
+        """Reduce-sum of all lanes (``n - 1`` candidate ADD instructions)."""
+        ta = as_tarray(a)
+        n = ta.size
+        injections = self._sink.account(
+            self.rank, self._region, OpKind.ADD, max(n - 1, 0)
+        )
+        g_flat = ta.golden.reshape(-1)
+        if not injections:
+            g = np.asarray(np.sum(g_flat))
+            if not ta.diverged:
+                return TArray(g)
+            out = TArray(g, np.asarray(np.sum(ta.faulty.reshape(-1))))
+        else:
+            # Sequential decomposition on both paths (rounding parity).
+            f_flat = ta.faulty.reshape(-1)
+            gval = _sum_sequential_with_injections(g_flat, injections, apply_flips=False)
+            fval = _sum_sequential_with_injections(f_flat, injections, apply_flips=True)
+            out = TArray(np.asarray(gval), np.asarray(fval))
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    def dot(self, a, b) -> TArray:
+        """Inner product = traced multiply stage + traced reduction."""
+        return self.sum(self.mul(a, b))
+
+    def norm2(self, a) -> TArray:
+        """Euclidean norm ``sqrt(a · a)``."""
+        return self.sqrt(self.dot(a, a))
+
+    def max(self, a) -> TArray:
+        """Reduce-max (comparison tree; not an injection candidate)."""
+        return self._reduce_passive(np.max, a)
+
+    def min(self, a) -> TArray:
+        return self._reduce_passive(np.min, a)
+
+    # ------------------------------------------------------------------
+    # sparse matrix-vector product (CSR)
+    # ------------------------------------------------------------------
+    def csr_matvec(self, data, indices: np.ndarray, indptr: np.ndarray, x) -> TArray:
+        """``y = A @ x`` for CSR ``A`` with per-scalar-instruction tracing.
+
+        Candidate stream: ``nnz`` multiplies in CSR data order, then the
+        row-major chain of reduction adds (``max(len(row) - 1, 0)`` per
+        row).  Empty rows are allowed (column blocks of a distributed
+        matrix routinely have them) and produce ``0.0``.
+
+        ``data`` may be a TArray (e.g. a matrix assembled by traced FE
+        computation in MiniFE) or a plain constant array.
+        """
+        tdata, tx = as_tarray(data), as_tarray(x)
+        indices = np.asarray(indices)
+        indptr = np.asarray(indptr)
+        nnz = int(indptr[-1])
+        if tdata.size != nnz:
+            raise ValueError(f"CSR data length {tdata.size} != indptr nnz {nnz}")
+        row_lengths = np.diff(indptr)
+        empty_rows = row_lengths == 0
+
+        mul_injs = self._sink.account(self.rank, self._region, OpKind.MUL, nnz)
+        add_counts = np.maximum(row_lengths - 1, 0)
+        add_offsets = np.concatenate(([0], np.cumsum(add_counts)))
+        add_injs = self._sink.account(
+            self.rank, self._region, OpKind.ADD, int(add_offsets[-1])
+        )
+
+        prod_g = tdata.golden * tx.golden[indices]
+        y_g = _segmented_sums(prod_g, indptr, empty_rows)
+
+        diverged = tdata.diverged or tx.diverged
+        if not diverged and not mul_injs and not add_injs:
+            out = TArray(y_g)
+        else:
+            prod_f = tdata.faulty * tx.faulty[indices] if diverged else prod_g.copy()
+            if not prod_f.flags.writeable:
+                prod_f = prod_f.copy()
+            # Multiply-stage flips corrupt single product lanes.
+            for k, operand, bits in _group_injections(mul_injs):
+                a_val = float(tdata.faulty.reshape(-1)[k])
+                b_val = float(tx.faulty[indices[k]])
+                if operand == Operand.A:
+                    prod_f[k] = _flip_bits(a_val, bits) * b_val
+                elif operand == Operand.B:
+                    prod_f[k] = a_val * _flip_bits(b_val, bits)
+                else:
+                    prod_f[k] = _flip_bits(float(prod_f[k]), bits)
+            y_f = _segmented_sums(prod_f, indptr, empty_rows)
+            # Reduction-stage flips: redo affected rows sequentially on
+            # both paths (rounding parity), grouping injections per row.
+            if add_injs:
+                y_g = y_g.copy()
+                per_row: dict[int, list[LaneInjection]] = {}
+                for inj in add_injs:
+                    row = int(np.searchsorted(add_offsets, inj.offset, side="right")) - 1
+                    local = LaneInjection(
+                        offset=inj.offset - int(add_offsets[row]),
+                        operand=inj.operand,
+                        bit=inj.bit,
+                    )
+                    per_row.setdefault(row, []).append(local)
+                for row, local_injs in per_row.items():
+                    lo, hi = int(indptr[row]), int(indptr[row + 1])
+                    y_g[row] = _sum_sequential_with_injections(
+                        prod_g[lo:hi], local_injs, apply_flips=False
+                    )
+                    y_f[row] = _sum_sequential_with_injections(
+                        prod_f[lo:hi], local_injs, apply_flips=True
+                    )
+            out = TArray(y_g, y_f)
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    def segment_sum(self, values, indptr: np.ndarray) -> TArray:
+        """Segmented reduction: ``out[s] = sum(values[indptr[s]:indptr[s+1]])``.
+
+        The workhorse of FE assembly (scatter-add of element
+        contributions grouped by matrix slot).  Each segment contributes
+        ``max(len - 1, 0)`` candidate ADD instructions, in segment-major
+        order; injection semantics match :meth:`sum` (sequential-order
+        decomposition with rounding parity on both paths).
+        """
+        tv = as_tarray(values)
+        indptr = np.asarray(indptr)
+        nnz = int(indptr[-1])
+        if tv.size != nnz:
+            raise ValueError(f"values length {tv.size} != indptr nnz {nnz}")
+        row_lengths = np.diff(indptr)
+        empty_rows = row_lengths == 0
+        add_counts = np.maximum(row_lengths - 1, 0)
+        add_offsets = np.concatenate(([0], np.cumsum(add_counts)))
+        injections = self._sink.account(
+            self.rank, self._region, OpKind.ADD, int(add_offsets[-1])
+        )
+        vg = tv.golden.reshape(-1)
+        y_g = _segmented_sums(vg, indptr, empty_rows)
+        if not tv.diverged and not injections:
+            return TArray(y_g)
+        vf = tv.faulty.reshape(-1)
+        y_f = _segmented_sums(vf, indptr, empty_rows)
+        if injections:
+            y_g = y_g.copy()
+            per_row: dict[int, list[LaneInjection]] = {}
+            for inj in injections:
+                row = int(np.searchsorted(add_offsets, inj.offset, side="right")) - 1
+                local = LaneInjection(
+                    offset=inj.offset - int(add_offsets[row]),
+                    operand=inj.operand,
+                    bit=inj.bit,
+                )
+                per_row.setdefault(row, []).append(local)
+            for row, local_injs in per_row.items():
+                lo, hi = int(indptr[row]), int(indptr[row + 1])
+                y_g[row] = _sum_sequential_with_injections(
+                    vg[lo:hi], local_injs, apply_flips=False
+                )
+                y_f[row] = _sum_sequential_with_injections(
+                    vf[lo:hi], local_injs, apply_flips=True
+                )
+        out = TArray(y_g, y_f)
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ewise2(self, ufunc, kind: OpKind, a, b) -> TArray:
+        ta, tb = as_tarray(a), as_tarray(b)
+        g = ufunc(ta.golden, tb.golden)
+        injections = self._sink.account(self.rank, self._region, kind, g.size)
+        diverged = ta.diverged or tb.diverged
+        if not diverged and not injections:
+            return TArray(g)
+        f = ufunc(ta.faulty, tb.faulty) if diverged else g.copy()
+        if injections:
+            f = np.array(f, copy=True)  # ensure writable, drop any sharing
+            f_flat = f.reshape(-1)
+            out_shape = g.shape
+            for lane, operand, bits in _group_injections(injections):
+                a_val = _lane_value(ta.faulty, lane, out_shape)
+                b_val = _lane_value(tb.faulty, lane, out_shape)
+                if operand == Operand.A:
+                    f_flat[lane] = ufunc(_flip_bits(a_val, bits), b_val)
+                elif operand == Operand.B:
+                    f_flat[lane] = ufunc(a_val, _flip_bits(b_val, bits))
+                else:
+                    f_flat[lane] = _flip_bits(float(f_flat[lane]), bits)
+        out = TArray(g, f)
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    def _ewise1(self, ufunc, a) -> TArray:
+        ta = as_tarray(a)
+        self._sink.account(self.rank, self._region, OpKind.OTHER, ta.size)
+        g = ufunc(ta.golden)
+        if not ta.diverged:
+            return TArray(g)
+        out = TArray(g, ufunc(ta.faulty))
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out
+
+    def _reduce_passive(self, reducer, a) -> TArray:
+        ta = as_tarray(a)
+        self._sink.account(
+            self.rank, self._region, OpKind.OTHER, max(ta.size - 1, 0)
+        )
+        g = np.asarray(reducer(ta.golden))
+        if not ta.diverged:
+            return TArray(g)
+        out = TArray(g, np.asarray(reducer(ta.faulty)))
+        if out.diverged:
+            self._sink.mark_contaminated(self.rank)
+        return out

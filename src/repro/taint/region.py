@@ -1,0 +1,26 @@
+"""Computation-region tags (paper §3.1).
+
+The paper splits parallel execution into *common computation* (also
+present in serial execution) and *parallel-unique computation* (present
+only in parallel execution, e.g. the twiddle stage of a distributed FFT
+transpose or ghost-contribution assembly in FE codes).  Applications tag
+the latter with ``with fp.region(Region.PARALLEL_UNIQUE): ...``; the
+tracer accounts candidate instructions per region, which yields Table 1
+and the ``prob1``/``prob2`` weights of the model's Eq. 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Region"]
+
+
+class Region(enum.Enum):
+    """Which of the paper's two computation classes an instruction is in."""
+
+    COMMON = "common"
+    PARALLEL_UNIQUE = "parallel_unique"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

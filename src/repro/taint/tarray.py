@@ -1,0 +1,202 @@
+"""The dual-value array type carried through every traced computation.
+
+A :class:`TArray` pairs the fault-free (*golden*) value of a datum with
+the value the actual, possibly fault-injected, execution holds
+(*faulty*).  The two references are **the same ndarray object** until an
+injected bit flip makes them differ; traced operations re-share them
+whenever the results compare equal again (rounding absorbed the
+perturbation).
+
+Design rules
+------------
+* TArrays are immutable: both payload arrays are frozen
+  (``writeable=False``) at construction.  Operations always allocate
+  outputs.  This makes sharing safe — a collective can hand the same
+  TArray to every rank.
+* ``diverged`` is an identity check (``faulty is not golden``), never a
+  value scan, so the fault-free fast path costs nothing.
+* Application *control flow* must read :attr:`value` /
+  :meth:`to_numpy`, which expose the faulty path — the injected run is
+  the real execution; the golden path is only a shadow for
+  contamination tracking and outcome classification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["TArray", "arrays_equal", "as_tarray"]
+
+
+def arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise-meaningful value equality used for taint collapse.
+
+    NaNs compare equal to NaNs (a flipped NaN payload is still "no
+    visible corruption" for downstream consumers), and ``-0.0`` equals
+    ``+0.0`` — matching how corrupted values behave arithmetically.
+    """
+    if a is b:
+        return True
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a, b, equal_nan=True))
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+class TArray:
+    """A dual-value (golden, faulty) array.  See module docstring."""
+
+    __slots__ = ("golden", "faulty")
+
+    def __init__(self, golden: np.ndarray, faulty: np.ndarray | None = None):
+        golden = np.asarray(golden)
+        if golden.dtype.kind != "f":
+            golden = golden.astype(np.float64)
+        if faulty is None or faulty is golden:
+            golden = _freeze(golden)
+            faulty = golden
+        else:
+            faulty = np.asarray(faulty)
+            if faulty.dtype != golden.dtype:
+                faulty = faulty.astype(golden.dtype)
+            if faulty.shape != golden.shape:
+                raise ValueError(
+                    f"golden/faulty shape mismatch: {golden.shape} vs {faulty.shape}"
+                )
+            # Re-share when the faulty path produced identical values.
+            if arrays_equal(golden, faulty):
+                golden = _freeze(golden)
+                faulty = golden
+            else:
+                golden = _freeze(golden)
+                faulty = _freeze(faulty)
+        self.golden = golden
+        self.faulty = faulty
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(cls, data: np.ndarray | float | Iterable) -> "TArray":
+        """Wrap uncorrupted initial data (golden == faulty, shared)."""
+        return cls(np.array(data, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def diverged(self) -> bool:
+        """True when the faulty execution's value differs from fault-free."""
+        return self.faulty is not self.golden
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.golden.shape
+
+    @property
+    def size(self) -> int:
+        return self.golden.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.golden.dtype
+
+    # ------------------------------------------------------------------
+    # faulty-path accessors (application control flow / output)
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """The faulty-path scalar value (for control flow and output)."""
+        if self.faulty.size != 1:
+            raise ValueError(f"value requires a single-element TArray, shape {self.shape}")
+        return float(self.faulty.reshape(()))
+
+    @property
+    def golden_value(self) -> float:
+        """The fault-free scalar value (shadow; not for control flow)."""
+        if self.golden.size != 1:
+            raise ValueError(f"golden_value requires a single-element TArray, shape {self.shape}")
+        return float(self.golden.reshape(()))
+
+    def to_numpy(self) -> np.ndarray:
+        """Read-only view of the faulty-path array."""
+        return self.faulty
+
+    def golden_numpy(self) -> np.ndarray:
+        """Read-only view of the golden-path array."""
+        return self.golden
+
+    # ------------------------------------------------------------------
+    # shape/data-movement operations (no FP instructions => untraced)
+    # ------------------------------------------------------------------
+    def __getitem__(self, key) -> "TArray":
+        g = self.golden[key]
+        f = g if self.faulty is self.golden else self.faulty[key]
+        # Slices of diverged arrays may be clean; the constructor re-shares.
+        return TArray(np.asarray(g), None if f is g else np.asarray(f))
+
+    def reshape(self, *shape) -> "TArray":
+        g = self.golden.reshape(*shape)
+        f = g if self.faulty is self.golden else self.faulty.reshape(*shape)
+        return TArray(g, None if f is g else f)
+
+    def ravel(self) -> "TArray":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "TArray":
+        g = np.ascontiguousarray(self.golden.transpose(*axes))
+        if self.faulty is self.golden:
+            return TArray(g)
+        return TArray(g, np.ascontiguousarray(self.faulty.transpose(*axes)))
+
+    @staticmethod
+    def concatenate(parts: Iterable["TArray"], axis: int = 0) -> "TArray":
+        """Concatenate TArrays (pure data movement, untraced)."""
+        parts = list(parts)
+        g = np.concatenate([p.golden for p in parts], axis=axis)
+        if all(not p.diverged for p in parts):
+            return TArray(g)
+        return TArray(g, np.concatenate([p.faulty for p in parts], axis=axis))
+
+    @staticmethod
+    def scatter(values: "TArray", positions: np.ndarray, size: int) -> "TArray":
+        """Dense array of ``size`` zeros with ``values`` at ``positions``.
+
+        Pure data movement (untraced); positions must be unique.
+        """
+        g = np.zeros(size)
+        g[positions] = values.golden
+        if not values.diverged:
+            return TArray(g)
+        f = np.zeros(size)
+        f[positions] = values.faulty
+        return TArray(g, f)
+
+    @staticmethod
+    def stack(parts: Iterable["TArray"], axis: int = 0) -> "TArray":
+        parts = list(parts)
+        g = np.stack([p.golden for p in parts], axis=axis)
+        if all(not p.diverged for p in parts):
+            return TArray(g)
+        return TArray(g, np.stack([p.faulty for p in parts], axis=axis))
+
+    def copy(self) -> "TArray":
+        """TArrays are immutable; copy returns self."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "diverged" if self.diverged else "clean"
+        return f"TArray(shape={self.shape}, {tag})"
+
+
+def as_tarray(x: "TArray | np.ndarray | float | int") -> TArray:
+    """Coerce constants / plain arrays into (clean) TArrays."""
+    if isinstance(x, TArray):
+        return x
+    return TArray.fresh(x)

@@ -1,0 +1,94 @@
+"""Protocol between traced FP operations and the fault-injection tracer.
+
+The taint layer (low level) defines the contract; the fault injector
+(:mod:`repro.fi.tracer`) implements it.  A traced vectorized operation
+reports how many *candidate* scalar instructions it executes (FP adds
+and multiplies — the instruction types the paper injects into, §2) and
+receives back the list of injections that land inside this very
+operation.  Non-candidate FP work (divides, square roots, transcendental
+calls) is reported separately so total dynamic-instruction counts — used
+by the paper's §1 overhead motivation — stay accurate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.taint.region import Region
+
+__all__ = ["OpKind", "Operand", "LaneInjection", "TraceSink", "NullSink"]
+
+
+class OpKind(enum.Enum):
+    """Dynamic scalar FP instruction classes."""
+
+    ADD = "add"          # add / subtract (FP adder) — injection candidate
+    MUL = "mul"          # multiply — injection candidate
+    DIV = "div"          # not a candidate (paper injects add/mul only)
+    OTHER = "other"      # sqrt, exp, comparisons-with-arith, …
+
+    @property
+    def is_candidate(self) -> bool:
+        return self in (OpKind.ADD, OpKind.MUL)
+
+
+class Operand(enum.IntEnum):
+    """Which operand of the selected dynamic instruction gets the flip.
+
+    For an elementwise binary instruction ``out = a ⊕ b`` the operands
+    are ``A`` (= a's lane), ``B`` (= b's lane) and ``OUT`` (the result
+    register).  For a reduction add, ``A`` is the running accumulator,
+    ``B`` the incoming element, and ``OUT`` the accumulator after the
+    add.  Flips are transient: they corrupt only this instruction's view
+    of the operand, never the stored input array — matching
+    register-level injection in F-SEFI.
+    """
+
+    A = 0
+    B = 1
+    OUT = 2
+
+
+@dataclass(frozen=True)
+class LaneInjection:
+    """One bit flip landing inside the current vectorized operation.
+
+    ``offset`` indexes the scalar instruction within the operation's
+    candidate stream (for an elementwise op: the flat output lane; for a
+    reduction: the index of the reduction add).
+    """
+
+    offset: int
+    operand: Operand
+    bit: int
+
+
+class TraceSink(Protocol):
+    """What the fault injector exposes to traced operations."""
+
+    def account(
+        self, rank: int, region: Region, kind: OpKind, count: int
+    ) -> Sequence[LaneInjection]:
+        """Register ``count`` scalar instructions of ``kind``.
+
+        Returns the injections whose global candidate index falls within
+        the half-open interval covered by this operation (empty in
+        profiling mode or when no planned flip lands here).
+        """
+        ...
+
+    def mark_contaminated(self, rank: int) -> None:
+        """Record that ``rank``'s state diverged from the fault-free run."""
+        ...
+
+
+class NullSink:
+    """A sink that counts nothing and never injects (plain execution)."""
+
+    def account(self, rank, region, kind, count):  # noqa: D102
+        return ()
+
+    def mark_contaminated(self, rank):  # noqa: D102
+        return None

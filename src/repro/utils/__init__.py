@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG trees, validation, timing, tables."""
+
+from repro.utils.rng import SeedSequenceTree, spawn_rng, trial_seed
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_power_of_two,
+    require,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "SeedSequenceTree",
+    "spawn_rng",
+    "trial_seed",
+    "Timer",
+    "check_positive_int",
+    "check_probability",
+    "check_power_of_two",
+    "require",
+    "format_table",
+]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment harnesses.
+
+The experiment drivers print the same rows the paper's tables/figures
+report; this module gives them a single consistent renderer so the
+benchmark output is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have exactly one cell per header")
+    cells = [[_cell(v, ndigits) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Wall-clock timing helpers for campaigns and benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+
+    Multiple ``with`` blocks accumulate into :attr:`elapsed`, which suits
+    measuring only the injection portion of a campaign loop.
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time; must not be running."""
+        assert self._start is None, "cannot reset a running Timer"
+        self.elapsed = 0.0

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.ConfigurationError` so user-facing
+misconfiguration is distinguishable from internal bugs (which raise the
+built-in ``ValueError``/``TypeError``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["require", "check_positive_int", "check_probability", "check_power_of_two"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number in [0, 1], got {value!r}") from None
+    if not 0.0 <= v <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {v}")
+    return v
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    check_positive_int(value, name)
+    if value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value

@@ -1,0 +1,20 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The environment has no plotting stack, so this package implements the
+little that is needed: an SVG canvas (:mod:`repro.viz.svg`) with bar and
+line charts, and figure builders (:mod:`repro.viz.figures`) that turn
+the experiment harnesses' result dictionaries into SVG counterparts of
+the paper's Figures 1-8.  ``python -m repro.experiments report`` writes
+them under ``results/figures/``.
+"""
+
+from repro.viz.svg import SvgCanvas, bar_chart, grouped_bar_chart, line_chart
+from repro.viz.figures import render_all_figures
+
+__all__ = [
+    "SvgCanvas",
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "render_all_figures",
+]

@@ -1,0 +1,174 @@
+"""Figure builders: experiment result dicts -> SVG files.
+
+Each ``render_*`` function takes the dictionary returned by the matching
+``repro.experiments.<name>.run`` and produces the SVG counterpart of the
+paper's figure.  ``render_all_figures`` is called by the report command
+with whatever experiment results are available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.viz.svg import SvgCanvas, bar_chart, grouped_bar_chart, line_chart
+
+__all__ = [
+    "render_figure12",
+    "render_figure3",
+    "render_figure56",
+    "render_figure7",
+    "render_figure8",
+    "render_table1",
+    "render_all_figures",
+]
+
+
+def render_table1(result: dict) -> SvgCanvas:
+    """Bar chart of the Table-1 parallel-unique shares."""
+    names = list(result["fractions"])
+    values = [result["fractions"][n] for n in names]
+    return bar_chart(
+        [n.upper() for n in names], values,
+        title="Table 1 — parallel-unique computation share (4 ranks)",
+        ylabel="share of traced candidate instructions",
+        width=760,
+    )
+
+
+def render_figure12(result: dict, app: str) -> list[tuple[str, SvgCanvas]]:
+    """The three panels of Fig. 1 (CG) / Fig. 2 (FT)."""
+    data = result[app]
+    fig = "1" if app == "cg" else "2"
+    small = data["small"]
+    large = data["large"]
+    grouped = data["grouped"]
+    panels = [
+        (
+            f"figure{fig}a_{app}",
+            bar_chart(
+                range(1, len(small) + 1), small,
+                title=f"Fig {fig}a — {app.upper()} propagation, {len(small)} ranks",
+                ylabel="share of tests",
+            ),
+        ),
+        (
+            f"figure{fig}b_{app}",
+            bar_chart(
+                range(1, len(large) + 1), large,
+                title=f"Fig {fig}b — {app.upper()} propagation, {len(large)} ranks",
+                ylabel="share of tests", width=900,
+            ),
+        ),
+        (
+            f"figure{fig}c_{app}",
+            bar_chart(
+                range(1, len(grouped) + 1), grouped,
+                title=(
+                    f"Fig {fig}c — {len(large)} cases grouped into "
+                    f"{len(grouped)} (cosine {data['cosine']:.3f})"
+                ),
+                ylabel="share of tests",
+            ),
+        ),
+    ]
+    return panels
+
+
+def render_figure3(result: dict) -> list[tuple[str, SvgCanvas]]:
+    """Per-app grouped bars: serial multi-error vs parallel conditional."""
+    out = []
+    for app, curves in result.items():
+        n = len(curves["serial"])
+        chart = grouped_bar_chart(
+            range(1, n + 1),
+            {
+                "serial, x errors": curves["serial"],
+                "parallel, x contaminated": curves["parallel"],
+            },
+            title=f"Fig 3 — {app.upper()} success rates",
+            ylabel="success rate",
+        )
+        out.append((f"figure3_{app}", chart))
+    return out
+
+
+def render_figure56(result: dict, figure: str) -> SvgCanvas:
+    """Predicted-vs-measured bars for Fig. 5 or Fig. 6."""
+    apps = list(result)
+    return grouped_bar_chart(
+        [a.upper() for a in apps],
+        {
+            "predicted": [result[a]["predicted"].success for a in apps],
+            "measured": [result[a]["measured"].success for a in apps],
+        },
+        title=(
+            f"Fig {figure[-1]} — predicting 64 ranks "
+            f"(serial + {'4' if figure.endswith('5') else '8'} ranks)"
+        ),
+        ylabel="success rate",
+    )
+
+
+def render_figure7(result: dict) -> SvgCanvas:
+    """Predicted-vs-measured bars at 128 ranks (CG, FT)."""
+    labels = []
+    predicted = []
+    measured = []
+    for predictor_label, res in result.items():
+        for app, r in res.items():
+            labels.append(f"{app.upper()}\n{predictor_label}")
+            predicted.append(r["predicted"].success)
+            measured.append(r["measured"].success)
+    return grouped_bar_chart(
+        labels, {"predicted": predicted, "measured": measured},
+        title="Fig 7 — predicting 128 ranks (CG, FT)",
+        ylabel="success rate", width=720,
+    )
+
+
+def render_figure8(result: dict) -> SvgCanvas:
+    """RMSE and scaled injection-time lines over the small scale S."""
+    scales = sorted(result)
+    return line_chart(
+        scales,
+        {
+            "RMSE": [result[s]["rmse"] for s in scales],
+            "FI time / serial (x0.01)": [
+                result[s]["normalized_time"] / 100 for s in scales
+            ],
+        },
+        title="Fig 8 — accuracy vs fault-injection cost",
+        ylabel="RMSE / scaled time",
+    )
+
+
+def render_all_figures(results: dict[str, dict], outdir: str | Path) -> list[Path]:
+    """Render every figure whose experiment result is present.
+
+    ``results`` maps experiment names ("table1", "figure12", "figure3",
+    "figure5", "figure6", "figure7", "figure8") to their run() outputs.
+    Returns the written paths.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    charts: list[tuple[str, SvgCanvas]] = []
+    if "table1" in results:
+        charts.append(("table1", render_table1(results["table1"])))
+    if "figure12" in results:
+        for app in results["figure12"]:
+            charts.extend(render_figure12(results["figure12"], app))
+    if "figure3" in results:
+        charts.extend(render_figure3(results["figure3"]))
+    for key in ("figure5", "figure6"):
+        if key in results:
+            charts.append((key, render_figure56(results[key], key)))
+    if "figure7" in results:
+        charts.append(("figure7", render_figure7(results["figure7"])))
+    if "figure8" in results:
+        charts.append(("figure8", render_figure8(results["figure8"])))
+    written = []
+    for name, canvas in charts:
+        path = outdir / f"{name}.svg"
+        canvas.save(path)
+        written.append(path)
+    return written

@@ -1,0 +1,180 @@
+"""A minimal SVG canvas plus bar/line chart primitives.
+
+Deliberately small: enough to draw the paper's figure styles (grouped
+bars with category labels, percentage axes, line charts with two
+series) with no third-party dependency.  Output is plain SVG 1.1 text,
+verifiable in tests with :mod:`xml.etree`.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+__all__ = ["SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart", "PALETTE"]
+
+#: Colour cycle for series (colour-blind-safe subset).
+PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; renders to a string or a file."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    # ------------------------------------------------------------------
+    def rect(self, x, y, w, h, fill="#000", stroke="none", opacity=1.0) -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" opacity="{opacity}"/>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#000", width=1.0, dash: str | None = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]], stroke="#000", width=2.0) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x, y, r, fill="#000") -> None:
+        self._parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}"/>')
+
+    def text(self, x, y, content, size=12, anchor="middle", rotate: float | None = None,
+             fill="#222") -> None:
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="Helvetica, Arial, sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{html.escape(str(content))}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        body = "\n  ".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())
+
+
+# ----------------------------------------------------------------------
+# chart layout helpers
+# ----------------------------------------------------------------------
+def _axes(canvas: SvgCanvas, title: str, x0, y0, x1, y1, ymax: float,
+          ylabel: str, percent: bool) -> None:
+    canvas.text(canvas.width / 2, 22, title, size=14)
+    canvas.line(x0, y1, x1, y1, stroke="#333")  # x axis
+    canvas.line(x0, y0, x0, y1, stroke="#333")  # y axis
+    for i in range(5):
+        frac = i / 4
+        y = y1 - frac * (y1 - y0)
+        value = frac * ymax
+        label = f"{100 * value:.0f}%" if percent else f"{value:.2g}"
+        canvas.line(x0 - 3, y, x0, y, stroke="#333")
+        canvas.line(x0, y, x1, y, stroke="#ddd")
+        canvas.text(x0 - 7, y + 4, label, size=10, anchor="end")
+    canvas.text(16, (y0 + y1) / 2, ylabel, size=11, rotate=-90)
+
+
+def _legend(canvas: SvgCanvas, names: Sequence[str], x: float, y: float) -> None:
+    for i, name in enumerate(names):
+        yy = y + 16 * i
+        canvas.rect(x, yy - 8, 10, 10, fill=PALETTE[i % len(PALETTE)])
+        canvas.text(x + 16, yy, name, size=10, anchor="start")
+
+
+def bar_chart(
+    categories: Sequence, values: Sequence[float], title: str,
+    ylabel: str = "", percent: bool = True,
+    width: int = 560, height: int = 320,
+) -> SvgCanvas:
+    """Single-series bar chart (the paper's Fig. 1a/1b style)."""
+    return grouped_bar_chart(categories, {"": list(values)}, title,
+                             ylabel=ylabel, percent=percent,
+                             width=width, height=height, show_legend=False)
+
+
+def grouped_bar_chart(
+    categories: Sequence, series: dict[str, Sequence[float]], title: str,
+    ylabel: str = "", percent: bool = True,
+    width: int = 640, height: int = 340, show_legend: bool = True,
+) -> SvgCanvas:
+    """Grouped bars per category (the paper's Fig. 5/6 style)."""
+    if not series:
+        raise ValueError("grouped_bar_chart requires at least one series")
+    n_cat = len(categories)
+    lengths = {len(v) for v in series.values()}
+    if lengths != {n_cat}:
+        raise ValueError(f"series lengths {lengths} != {n_cat} categories")
+    canvas = SvgCanvas(width, height)
+    x0, y0, x1, y1 = 64, 40, width - 20, height - 50
+    flat = [v for vs in series.values() for v in vs if v is not None]
+    ymax = max(max(flat, default=0.0) * 1.15, 1e-9)
+    if percent:
+        ymax = max(min(ymax, 1.0), 0.2)
+    _axes(canvas, title, x0, y0, x1, y1, ymax, ylabel, percent)
+    slot = (x1 - x0) / n_cat
+    n_series = len(series)
+    bar_w = slot * 0.8 / n_series
+    for si, (name, vals) in enumerate(series.items()):
+        for ci, val in enumerate(vals):
+            if val is None:
+                continue
+            h = (min(val, ymax) / ymax) * (y1 - y0)
+            x = x0 + ci * slot + slot * 0.1 + si * bar_w
+            canvas.rect(x, y1 - h, bar_w * 0.92, h, fill=PALETTE[si % len(PALETTE)])
+    for ci, cat in enumerate(categories):
+        canvas.text(x0 + (ci + 0.5) * slot, y1 + 16, cat, size=10)
+    if show_legend:
+        _legend(canvas, list(series), x1 - 130, y0 + 6)
+    return canvas
+
+
+def line_chart(
+    xs: Sequence[float], series: dict[str, Sequence[float]], title: str,
+    ylabel: str = "", percent: bool = False,
+    width: int = 560, height: int = 320,
+) -> SvgCanvas:
+    """Multi-series line chart (the paper's Fig. 8 style)."""
+    if not series:
+        raise ValueError("line_chart requires at least one series")
+    canvas = SvgCanvas(width, height)
+    x0, y0, x1, y1 = 64, 40, width - 20, height - 50
+    flat = [v for vs in series.values() for v in vs]
+    ymax = max(max(flat) * 1.15, 1e-9)
+    _axes(canvas, title, x0, y0, x1, y1, ymax, ylabel, percent)
+    xmin, xmax = min(xs), max(xs)
+    span = max(xmax - xmin, 1e-9)
+
+    def sx(x):
+        return x0 + (x - xmin) / span * (x1 - x0)
+
+    def sy(v):
+        return y1 - (min(v, ymax) / ymax) * (y1 - y0)
+
+    for si, (name, vals) in enumerate(series.items()):
+        colour = PALETTE[si % len(PALETTE)]
+        pts = [(sx(x), sy(v)) for x, v in zip(xs, vals)]
+        canvas.polyline(pts, stroke=colour)
+        for px, py in pts:
+            canvas.circle(px, py, 3, fill=colour)
+    for x in xs:
+        canvas.text(sx(x), y1 + 16, x, size=10)
+    _legend(canvas, list(series), x1 - 150, y0 + 6)
+    return canvas

@@ -1,0 +1,174 @@
+"""Deeper unit tests of app internals: tables, meshes, guards, helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppSpec, block_bounds, relative_error
+from repro.apps.ft import FTApp
+from repro.apps.mg import MGApp
+from repro.apps.minife import MiniFEApp
+from repro.apps.pennant import PennantApp
+from repro.errors import SimulatedCrashError
+from repro.taint.tarray import TArray
+
+
+class TestBaseHelpers:
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.5, 0.0) == 0.5  # scaled by max(|ref|, 1)
+        assert relative_error(float("nan"), 1.0) == math.inf
+        assert relative_error(1.0, float("inf")) == math.inf
+
+    def test_block_bounds_partition(self):
+        n, size = 10, 3
+        bounds = [block_bounds(n, size, r) for r in range(size)]
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(bounds, bounds[1:]):
+            assert a_hi == b_lo
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cache_key_reflects_params(self):
+        a, b = FTApp(steps=2), FTApp(steps=3)
+        assert a.cache_key() != b.cache_key()
+        assert FTApp(steps=2).cache_key() == a.cache_key()
+
+    def test_check_nprocs(self):
+        app = FTApp(shape=(16, 4, 4))
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            app.check_nprocs(3, limit=16)
+        with pytest.raises(ConfigurationError):
+            app.check_nprocs(32, limit=16)
+        app.check_nprocs(16, limit=16)
+
+
+class TestFTTables:
+    def test_local_twiddles_unit_magnitude(self):
+        app = FTApp(shape=(16, 4, 4))
+        for wr, wi in app._stage_table(16, inverse=False):
+            np.testing.assert_allclose(wr**2 + wi**2, 1.0, atol=1e-12)
+
+    def test_inverse_tables_are_conjugate(self):
+        app = FTApp(shape=(16, 4, 4))
+        fwd = app._stage_table(8, inverse=False)
+        inv = app._stage_table(8, inverse=True)
+        for (fr, fi_), (ir, ii) in zip(fwd, inv):
+            np.testing.assert_allclose(fr, ir, atol=1e-12)
+            np.testing.assert_allclose(fi_, -ii, atol=1e-12)
+
+    def test_evolution_factor_bounds(self):
+        app = FTApp(shape=(16, 4, 4), alpha=1e-3)
+        assert np.all(app._factor <= 1.0)
+        assert np.all(app._factor > 0.0)
+        # the DC mode (frequency 0,0,0 sits at bit-reversed position 0)
+        assert app._factor[0, 0, 0] == 1.0
+
+    def test_cross_table_cached(self):
+        app = FTApp(shape=(16, 4, 4))
+        a = app._cross_table(4, 3, 0)
+        b = app._cross_table(4, 3, 0)
+        assert a is b
+
+
+class TestMGDecomposition:
+    def test_coords_roundtrip(self):
+        dims = (2, 2, 2)
+        for rank in range(8):
+            coords = MGApp._coords(rank, dims)
+            assert MGApp._rank_of(coords, dims) == rank
+
+    def test_neighbor_wraps_periodically(self):
+        app = MGApp(n=16, levels=3)
+        dims = (2, 2, 2)
+        assert app._neighbor((0, 0, 0), dims, axis=0, step=-1) == \
+            app._rank_of((1, 0, 0), dims)
+
+    def test_restrict_prolong_shapes(self):
+        from repro.taint.ops import FPOps
+
+        fp = FPOps()
+        fine = TArray.fresh(np.arange(64.0).reshape(4, 4, 4))
+        coarse = MGApp._restrict(fp, fine)
+        assert coarse.shape == (2, 2, 2)
+        back = MGApp._prolong(coarse)
+        assert back.shape == (4, 4, 4)
+        # prolongation repeats each coarse value over its 2x2x2 children
+        np.testing.assert_array_equal(
+            back.to_numpy()[0:2, 0:2, 0:2], np.full((2, 2, 2), coarse.to_numpy()[0, 0, 0])
+        )
+
+    def test_restrict_is_average(self):
+        from repro.taint.ops import FPOps
+
+        fp = FPOps()
+        fine = TArray.fresh(np.ones((4, 4, 4)) * 3.0)
+        coarse = MGApp._restrict(fp, fine)
+        np.testing.assert_allclose(coarse.to_numpy(), 3.0)
+
+
+class TestMiniFEMesh:
+    @pytest.fixture(scope="class")
+    def fe(self):
+        return MiniFEApp(nz=8, ny=4, nx=4, cg_iters=4)
+
+    def test_node_id_periodic_in_z(self, fe):
+        assert fe._node_id(fe.nz, 0, 0) == fe._node_id(0, 0, 0)
+
+    def test_element_nodes_shape(self, fe):
+        ez, ey, ex = fe._all_elements()
+        nodes = fe._element_nodes(ez, ey, ex)
+        assert nodes.shape == (fe.nz * (fe.ny - 1) * (fe.nx - 1), 8)
+        assert nodes.min() >= 0 and nodes.max() < fe.nz * fe._plane
+
+    def test_pattern_symmetric(self, fe):
+        pat = fe._pattern
+        assert (pat != pat.T).nnz == 0
+
+    def test_slot_of_inverts_pattern(self, fe):
+        pat = fe._pattern
+        rows = np.repeat(np.arange(pat.shape[0]), np.diff(pat.indptr))
+        slots = fe._slot_of(rows[:50], pat.indices[:50])
+        np.testing.assert_array_equal(slots, np.arange(50))
+
+    def test_rank_setup_consistent_across_sizes(self, fe):
+        for size in (1, 2, 4):
+            total_owned = sum(
+                fe._setup_rank(size, r)["o_elem"].size for r in range(size)
+            )
+            # every element contributes 64 pairs; all pairs are owned or ghost
+            n_elems = fe.nz * (fe.ny - 1) * (fe.nx - 1)
+            total_ghost = sum(
+                fe._setup_rank(size, r)["gh_elem"].size for r in range(size)
+            )
+            assert total_owned + total_ghost == n_elems * 64
+
+    def test_b_zero_mean(self, fe):
+        assert abs(fe._b.mean()) < 1e-14
+
+
+class TestPennantGuards:
+    def test_guard_rejects_nonpositive(self):
+        with pytest.raises(SimulatedCrashError):
+            PennantApp._guard_positive(TArray.fresh([1.0, -0.5]), "density")
+        with pytest.raises(SimulatedCrashError):
+            PennantApp._guard_positive(TArray.fresh([float("nan")]), "energy")
+        PennantApp._guard_positive(TArray.fresh([0.1, 2.0]), "fine")
+
+    def test_node_mass_conserves_cell_mass(self):
+        app = PennantApp(n_cells=32)
+        assert app._node_mass.sum() == pytest.approx(app._mass.sum())
+
+    def test_initial_discontinuity(self):
+        app = PennantApp(n_cells=32)
+        assert app._rho0[0] == app.rho_left
+        assert app._rho0[-1] == app.rho_right
+
+    def test_timestep_guard_triggers_on_bad_dt(self):
+        """A non-finite CFL timestep must crash, not hang."""
+        app = PennantApp(n_cells=16, steps=1)
+        ref = app.reference_output(1)
+        assert all(math.isfinite(v) for v in ref.values())

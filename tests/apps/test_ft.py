@@ -1,0 +1,123 @@
+"""FT benchmark: FFT correctness vs numpy, scale consistency, regions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.ft import FTApp, _Complex, _bitrev_indices, _signed_freq
+from repro.errors import ConfigurationError
+from repro.fi import Deployment, run_campaign
+from repro.fi.tracer import Tracer, TracerMode
+from repro.mpisim import execute_spmd
+
+
+@pytest.fixture(scope="module")
+def app():
+    return FTApp(shape=(16, 4, 4), steps=2, alpha=1e-3)
+
+
+class TestHelpers:
+    def test_bitrev(self):
+        np.testing.assert_array_equal(_bitrev_indices(8), [0, 4, 2, 6, 1, 5, 3, 7])
+
+    def test_signed_freq(self):
+        np.testing.assert_array_equal(
+            _signed_freq(np.arange(8), 8), [0, 1, 2, 3, 4, -3, -2, -1]
+        )
+
+
+class TestFFTCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_distributed_z_fft_matches_numpy(self, app, p):
+        nz = app.shape[0]
+        rng = np.random.default_rng(3)
+        xr = rng.standard_normal((nz, 1, 1))
+        xi = rng.standard_normal((nz, 1, 1))
+
+        def prog(rank, size, comm, fp):
+            n2 = nz // size
+            u = _Complex(
+                fp.asarray(xr[rank * n2 : (rank + 1) * n2]),
+                fp.asarray(xi[rank * n2 : (rank + 1) * n2]),
+            )
+            u = yield from app._fft_z(fp, comm, rank, size, u, inverse=False)
+            return u.re.to_numpy() + 1j * u.im.to_numpy()
+
+        outs = execute_spmd(prog, p)
+        full = np.concatenate(outs, axis=0).ravel()
+        ref = np.fft.fft((xr + 1j * xi).ravel())[_bitrev_indices(nz)]
+        np.testing.assert_allclose(full, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_roundtrip_identity(self, app, p):
+        nz = app.shape[0]
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((nz, 1, 1)) + 1j * rng.standard_normal((nz, 1, 1))
+
+        def prog(rank, size, comm, fp):
+            n2 = nz // size
+            u = _Complex(
+                fp.asarray(x.real[rank * n2 : (rank + 1) * n2]),
+                fp.asarray(x.imag[rank * n2 : (rank + 1) * n2]),
+            )
+            u = yield from app._fft_z(fp, comm, rank, size, u, inverse=False)
+            u = yield from app._fft_z(fp, comm, rank, size, u, inverse=True)
+            return (u.re.to_numpy() + 1j * u.im.to_numpy()) / nz
+
+        outs = execute_spmd(prog, p)
+        np.testing.assert_allclose(np.concatenate(outs, axis=0), x, atol=1e-12)
+
+    def test_spectral_evolution_matches_numpy_reference(self, app):
+        out = app.reference_output(1)
+        u0 = app._u0_re + 1j * app._u0_im
+        uh = np.fft.fftn(u0)
+        nz, ny, nx = app.shape
+        ks = [np.fft.fftfreq(n) * n for n in (nz, ny, nx)]
+        k2 = (
+            ks[0][:, None, None] ** 2
+            + ks[1][None, :, None] ** 2
+            + ks[2][None, None, :] ** 2
+        )
+        fac = np.exp(-4 * math.pi**2 * app.alpha * k2)
+        w = np.fft.ifftn(uh * fac)
+        assert out["checksum_0"] == pytest.approx(w.sum().real, abs=1e-9)
+        assert out["checksum_1"] == pytest.approx(w.sum().imag, abs=1e-9)
+        assert out["checksum_2"] == pytest.approx((np.abs(w) ** 2).sum(), rel=1e-12)
+
+    @pytest.mark.parametrize("p", [2, 8, 16])
+    def test_parallel_matches_serial(self, app, p):
+        serial = app.reference_output(1)
+        par = app.reference_output(p)
+        for key, val in serial.items():
+            assert par[key] == pytest.approx(val, abs=1e-9)
+
+
+class TestStructure:
+    def test_serial_all_common(self, app):
+        tracer = Tracer(TracerMode.PROFILE)
+        execute_spmd(app.program, 1, sink=tracer)
+        assert tracer.profile.parallel_unique_fraction() == 0.0
+
+    def test_parallel_unique_is_largest_of_suite(self, app):
+        """FT's cross-rank stages give it a large unique share (Table 1)."""
+        tracer = Tracer(TracerMode.PROFILE)
+        execute_spmd(app.program, 4, sink=tracer)
+        assert tracer.profile.parallel_unique_fraction() > 0.05
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            FTApp(shape=(12, 4, 4))
+
+
+class TestFaultInjection:
+    def test_campaign_smoke(self, app):
+        res = run_campaign(app, Deployment(nprocs=4, trials=20, seed=3))
+        assert res.success_rate + res.sdc_rate + res.failure_rate == pytest.approx(1.0)
+
+    def test_verifier_rejects_nan(self, app):
+        ref = app.reference_output(1)
+        broken = dict(ref)
+        broken["checksum_0"] = float("nan")
+        assert not app.verify(broken, ref)
+        assert app.verify(dict(ref), ref)

@@ -1,0 +1,41 @@
+"""Golden-value regression pins for the registry configurations.
+
+These lock the fault-free outputs of the canonical benchmark
+configurations.  If a refactor of the substrate or an app changes any of
+these values, campaigns cached on disk become stale and published
+experiment numbers shift — this test makes that visible immediately.
+(Intentional numerics changes should update both the constants here and
+``repro.fi.cache._CACHE_VERSION``.)
+"""
+
+import pytest
+
+from repro.apps import get_app
+
+GOLDEN = {
+    "cg": {"zeta": 21.676945940525293, "rnorm": 0.0003892107805146604},
+    "ft": {
+        "checksum_0": 208.01192585859647,
+        "checksum_1": -182.4634502674909,
+        "checksum_2": 7315.724166754811,
+        "checksum_3": 208.01192585859647,
+        "checksum_4": -182.46345026749088,
+        "checksum_5": 3914.594584123068,
+    },
+    "mg": {"rnm2": 1.08200783904079},
+    "lu": {"rsdnm": 20.072316249965468},
+    "minife": {"rnorm": 5.209878326508852, "xnorm": 27.74214865790004},
+    "pennant": {
+        "kinetic": 0.0006497875130335811,
+        "internal": 0.049269316348211814,
+        "profile": 0.1203492500984151,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_reference_outputs_pinned(name):
+    out = get_app(name).reference_output(1)
+    assert set(out) == set(GOLDEN[name])
+    for key, expected in GOLDEN[name].items():
+        assert out[key] == pytest.approx(expected, rel=1e-12), (name, key)

@@ -1,0 +1,100 @@
+"""MG and LU benchmarks: numerics, scale consistency, propagation shape."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import LUApp
+from repro.apps.mg import MGApp, _factor_grid
+from repro.errors import ConfigurationError
+from repro.fi import Deployment, run_campaign
+from repro.fi.tracer import Tracer, TracerMode
+from repro.mpisim import execute_spmd
+
+
+@pytest.fixture(scope="module")
+def mg():
+    return MGApp(n=16, cycles=2, levels=3)
+
+
+@pytest.fixture(scope="module")
+def lu():
+    return LUApp(nz=16, ny=6, nx=6, itmax=2)
+
+
+class TestFactorGrid:
+    def test_factors(self):
+        assert _factor_grid(1) == (1, 1, 1)
+        assert _factor_grid(2) == (2, 1, 1)
+        assert _factor_grid(8) == (2, 2, 2)
+        assert _factor_grid(64) == (4, 4, 4)
+
+
+class TestMG:
+    def test_vcycles_reduce_residual(self, mg):
+        """The V-cycles must actually damp the residual vs the RHS norm."""
+        out = mg.reference_output(1)
+        rhs_norm = np.linalg.norm(mg._rhs)
+        assert 0 < out["rnm2"] < rhs_norm
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_parallel_matches_serial(self, mg, p):
+        import pytest as _pt
+        assert mg.reference_output(p)["rnm2"] == _pt.approx(
+            mg.reference_output(1)["rnm2"], rel=1e-12
+        )
+
+    def test_no_parallel_unique(self, mg):
+        tracer = Tracer(TracerMode.PROFILE)
+        execute_spmd(mg.program, 8, sink=tracer)
+        assert tracer.profile.parallel_unique_fraction() == 0.0
+
+    def test_rhs_zero_mean(self, mg):
+        assert abs(mg._rhs.mean()) < 1e-15
+
+    def test_campaign_produces_intermediate_contamination(self, mg):
+        """Halo creep yields contaminated counts strictly between 1 and p."""
+        res = run_campaign(mg, Deployment(nprocs=8, trials=60, seed=2))
+        counts = res.propagation_counts()
+        assert any(1 < n < 8 for n in counts)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            MGApp(n=12)
+        with pytest.raises(ConfigurationError):
+            MGApp(n=8, levels=4)
+
+
+class TestLU:
+    def test_ssor_reduces_residual(self, lu):
+        out = lu.reference_output(1)
+        b_norm = np.linalg.norm(lu._rhs)
+        assert 0 < out["rsdnm"] < b_norm
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_parallel_matches_serial(self, lu, p):
+        import pytest as _pt
+        assert lu.reference_output(p)["rsdnm"] == _pt.approx(
+            lu.reference_output(1)["rsdnm"], rel=1e-12
+        )
+
+    def test_no_parallel_unique(self, lu):
+        tracer = Tracer(TracerMode.PROFILE)
+        execute_spmd(lu.program, 4, sink=tracer)
+        assert tracer.profile.parallel_unique_fraction() == 0.0
+
+    def test_propagation_mostly_all_or_one(self, lu):
+        """The pipeline + per-iteration norm allreduce gives LU its
+        missing-middle propagation profile (paper Fig. 3)."""
+        res = run_campaign(lu, Deployment(nprocs=8, trials=60, seed=4))
+        counts = res.propagation_counts()
+        edge_mass = counts.get(1, 0) + counts.get(8, 0)
+        assert edge_mass / sum(counts.values()) > 0.8
+
+    def test_nz_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            LUApp(nz=12)
+
+    def test_verify(self, lu):
+        ref = lu.reference_output(1)
+        assert lu.verify(dict(ref), ref)
+        assert not lu.verify({"rsdnm": ref["rsdnm"] * 1.5}, ref)

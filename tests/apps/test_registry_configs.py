@@ -1,0 +1,40 @@
+"""Registry configuration checks, including the Class-B-like variants."""
+
+import pytest
+
+from repro.apps import available_apps, get_app
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown app"):
+            get_app("bt")
+
+    def test_fresh_instance_per_call(self):
+        assert get_app("cg") is not get_app("cg")
+
+    def test_class_variants_differ_from_base(self):
+        assert get_app("cg").cache_key() != get_app("cg.classb").cache_key()
+        assert get_app("ft").cache_key() != get_app("ft.classb").cache_key()
+        assert get_app("minife").cache_key() != get_app("minife.large").cache_key()
+
+    def test_classb_problems_are_larger(self):
+        assert get_app("cg.classb").n > get_app("cg").n
+        ft_s, ft_b = get_app("ft"), get_app("ft.classb")
+        # NAS grows the distributed z axis from class S to B
+        assert ft_b.shape[0] > ft_s.shape[0]
+        fe_s, fe_b = get_app("minife"), get_app("minife.large")
+        assert fe_b.ny * fe_b.nx > fe_s.ny * fe_s.nx
+
+    @pytest.mark.parametrize("name", ["cg.classb", "ft.classb", "minife.large"])
+    def test_variants_scale_consistently(self, name):
+        app = get_app(name)
+        serial = app.reference_output(1)
+        par = app.reference_output(4)
+        assert app.verify(par, serial)
+
+    def test_available_apps_sorted_and_complete(self):
+        names = available_apps()
+        assert names == sorted(names)
+        assert len(names) == 9

@@ -1,0 +1,71 @@
+"""Smoke tests for the runnable examples (tiny trial counts)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "quickstart.py",
+            "--trials", "12", "--nprocs", "4", "--app", "lu",
+        )
+        assert "success rate" in out
+        assert "error propagation" in out
+
+    def test_propagation_study(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "propagation_study.py",
+            "--app", "mg", "--scales", "2", "--large", "4", "--trials", "15",
+        )
+        assert "cosine similarity" in out
+        assert "Eq. 5 projection" in out
+
+    def test_custom_app(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_app.py", "--trials", "20")
+        assert "predicted success at 16 ranks" in out
+        assert "prediction error" in out
+
+    def test_extreme_scale(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "extreme_scale.py",
+            "--app", "mg", "--small", "4", "--targets", "16", "32",
+            "--trials", "10",
+        )
+        assert "target ranks" in out
+        assert "no execution at any target scale" in out
+
+    def test_predict_large_scale_small_target(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "predict_large_scale.py",
+            "--app", "mg", "--small", "4", "--target", "8",
+            "--trials", "12", "--validate",
+        )
+        assert "predicted at 8 ranks" in out
+        assert "prediction error" in out
+
+
+class TestReportHelpers:
+    def test_markdown_table(self):
+        from repro.experiments.report import _table
+
+        md = _table(["a", "b"], [["1", "2"], ["3", "4"]])
+        assert md.splitlines()[1] == "|---|---|"
+        assert "| 3 | 4 |" in md
+
+    def test_paper_constants_cover_all_experiments(self):
+        from repro.experiments.report import PAPER
+
+        assert set(PAPER["table2"]) == {"cg", "ft", "mg", "lu", "minife", "pennant"}
+        assert PAPER["figure5"]["avg"] == 0.08

@@ -1,0 +1,97 @@
+"""End-to-end integration: campaigns -> model inputs -> prediction."""
+
+import numpy as np
+import pytest
+
+from repro.apps import available_apps, get_app, paper_apps
+from repro.apps.cg import CGApp
+from repro.fi import Deployment, run_campaign
+from repro.fi.campaign import CampaignResult
+from repro.model.predictor import PredictionInputs, ResiliencePredictor
+from repro.model.propagation import PropagationProfile
+from repro.model.result import FaultInjectionResult
+from repro.taint.region import Region
+
+TRIALS = 40
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CGApp(n=128, nnz_per_row=16, niter=1, cg_iters=5)
+
+
+@pytest.fixture(scope="module")
+def small(app) -> CampaignResult:
+    return run_campaign(app, Deployment(nprocs=4, trials=TRIALS, seed=21))
+
+
+class TestEndToEndPrediction:
+    def test_pipeline(self, app, small):
+        serial = {}
+        for x in (1, 8, 12, 16):
+            dep = Deployment(
+                nprocs=1, trials=TRIALS, n_errors=x, region=Region.COMMON,
+                seed=100 + x,
+            )
+            serial[x] = FaultInjectionResult.from_campaign(run_campaign(app, dep))
+        probe_dep = Deployment(
+            nprocs=1, trials=TRIALS, n_errors=4, region=Region.COMMON, seed=104
+        )
+        probe = FaultInjectionResult.from_campaign(run_campaign(app, probe_dep))
+        inputs = PredictionInputs(
+            serial_samples=serial,
+            small_campaign=small,
+            unique_fractions={4: small.parallel_unique_fraction},
+            serial_probe=probe,
+        )
+        predictor = ResiliencePredictor(inputs)
+        predicted = predictor.predict(16)
+        measured = FaultInjectionResult.from_campaign(
+            run_campaign(app, Deployment(nprocs=16, trials=TRIALS, seed=55))
+        )
+        assert 0.0 <= predicted.success <= 1.0
+        # shape claim: with these trial counts the prediction lands within
+        # a wide but meaningful band of the measurement
+        assert abs(predicted.success - measured.success) < 0.35
+
+    def test_propagation_profiles_consistent(self, small):
+        prof = PropagationProfile.from_campaign(small)
+        assert sum(prof.probabilities) == pytest.approx(1.0)
+        assert prof.r(1) > 0  # some flips always stay local
+
+
+class TestRegistrySmoke:
+    @pytest.mark.parametrize("name", available_apps())
+    def test_every_registered_config_runs_and_verifies(self, name):
+        app = get_app(name)
+        ref = app.reference_output(1)
+        par = app.reference_output(4)
+        assert app.verify(par, ref)
+
+    def test_paper_apps_subset(self):
+        assert set(paper_apps()) <= set(available_apps())
+
+    @pytest.mark.parametrize("name", paper_apps())
+    def test_tiny_campaign_all_apps(self, name):
+        app = get_app(name)
+        res = run_campaign(app, Deployment(nprocs=4, trials=8, seed=9))
+        assert res.n_trials == 8
+        assert 0 <= res.success_rate <= 1
+
+
+class TestCrossScaleInvariants:
+    def test_strong_scaling_same_answer(self, app):
+        """The same global problem at every scale (paper §2)."""
+        outs = [app.reference_output(p) for p in (1, 2, 4, 8, 16)]
+        zetas = [o["zeta"] for o in outs]
+        assert np.ptp(zetas) < 1e-9
+
+    def test_contamination_never_exceeds_nprocs(self, app):
+        res = run_campaign(app, Deployment(nprocs=8, trials=30, seed=77))
+        assert all(1 <= n <= 8 for n in res.propagation_counts())
+
+    def test_zero_error_runs_match_reference(self, app):
+        """Profiling pass is fault-free: repeated references identical."""
+        a = app.reference_output(4)
+        b = app.reference_output(4)
+        assert a == b

@@ -1,0 +1,36 @@
+"""Large-scale structural checks (profile-only runs — no campaigns)."""
+
+import pytest
+
+from repro.apps import get_app, paper_apps
+from repro.fi.tracer import Tracer, TracerMode
+from repro.mpisim import execute_spmd
+
+
+@pytest.mark.parametrize("name", paper_apps())
+def test_every_app_runs_at_64_ranks(name):
+    """The evaluation scale of Figs. 5/6 and Table 2 must be reachable."""
+    app = get_app(name)
+    tracer = Tracer(TracerMode.PROFILE)
+    outs = execute_spmd(app.program, 64, sink=tracer)
+    assert outs[0] is not None
+    assert app.verify(outs[0], app.reference_output(1))
+    # every rank executed candidate instructions (assumption 2 of §2)
+    assert len(tracer.profile.ranks) == 64
+
+
+@pytest.mark.parametrize("name", ["cg", "ft"])
+def test_figure7_apps_run_at_128_ranks(name):
+    app = get_app(name)
+    outs = execute_spmd(app.program, 128)
+    assert app.verify(outs[0], app.reference_output(1))
+
+
+@pytest.mark.parametrize("name", paper_apps())
+def test_unique_fraction_defined_at_all_scales(name):
+    app = get_app(name)
+    for p in (2, 8):
+        tracer = Tracer(TracerMode.PROFILE)
+        execute_spmd(app.program, p, sink=tracer)
+        frac = tracer.profile.parallel_unique_fraction()
+        assert 0.0 <= frac < 0.95

@@ -1,0 +1,111 @@
+"""Unit + property tests for IEEE-754 bit flips."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.bits import (
+    BitField,
+    bit_width,
+    bits_to_float,
+    classify_bit,
+    flip_bit_array,
+    flip_bit_scalar,
+    float_to_bits,
+)
+
+
+class TestScalarFlip:
+    def test_sign_bit_flip_negates(self):
+        assert flip_bit_scalar(1.5, 63) == -1.5
+
+    def test_mantissa_lsb_changes_value_minimally(self):
+        flipped = flip_bit_scalar(1.0, 0)
+        assert flipped != 1.0
+        assert abs(flipped - 1.0) < 1e-15
+
+    def test_exponent_flip_doubles_or_halves(self):
+        # bit 52 is the exponent LSB: 1.0 has exponent 1023 (odd), so the
+        # flip clears it to 1022, halving the value
+        assert flip_bit_scalar(1.0, 52) == 0.5
+        assert flip_bit_scalar(0.5, 52) == 1.0
+
+    def test_zero_sign_flip_gives_negative_zero(self):
+        flipped = flip_bit_scalar(0.0, 63)
+        assert flipped == 0.0 and math.copysign(1.0, flipped) == -1.0
+
+    def test_float32_supported(self):
+        f32 = np.dtype(np.float32)
+        assert flip_bit_scalar(1.0, 31, f32) == -1.0
+
+    @pytest.mark.parametrize("bit", [-1, 64])
+    def test_out_of_range_bit_rejected(self, bit):
+        with pytest.raises(ValueError):
+            flip_bit_scalar(1.0, bit)
+
+    @given(
+        value=st.floats(allow_nan=False, allow_infinity=False),
+        bit=st.integers(0, 63),
+    )
+    def test_involution(self, value, bit):
+        once = flip_bit_scalar(value, bit)
+        twice = flip_bit_scalar(once, bit)
+        assert float_to_bits(twice) == float_to_bits(value)
+
+    @given(value=st.floats(), bit=st.integers(0, 63))
+    def test_flip_always_changes_storage_bits(self, value, bit):
+        assert float_to_bits(flip_bit_scalar(value, bit)) != float_to_bits(value)
+
+
+class TestArrayFlip:
+    def test_flips_only_target_lane(self, rng):
+        arr = rng.standard_normal(16)
+        out = flip_bit_array(arr, 5, 63)
+        assert out[5] == -arr[5]
+        mask = np.ones(16, bool)
+        mask[5] = False
+        np.testing.assert_array_equal(out[mask], arr[mask])
+
+    def test_input_not_modified(self, rng):
+        arr = rng.standard_normal(8)
+        before = arr.copy()
+        flip_bit_array(arr, 0, 10)
+        np.testing.assert_array_equal(arr, before)
+
+    def test_multidimensional_flat_index(self):
+        arr = np.ones((3, 4))
+        out = flip_bit_array(arr, 7, 63)
+        assert out[1, 3] == -1.0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            flip_bit_array(np.ones(4), 4, 0)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            flip_bit_array(np.ones(4, dtype=np.int64), 0, 0)
+
+
+class TestClassification:
+    def test_fields(self):
+        assert classify_bit(0) is BitField.MANTISSA
+        assert classify_bit(51) is BitField.MANTISSA
+        assert classify_bit(52) is BitField.EXPONENT
+        assert classify_bit(62) is BitField.EXPONENT
+        assert classify_bit(63) is BitField.SIGN
+
+    def test_float32_fields(self):
+        f32 = np.dtype(np.float32)
+        assert classify_bit(22, f32) is BitField.MANTISSA
+        assert classify_bit(23, f32) is BitField.EXPONENT
+        assert classify_bit(31, f32) is BitField.SIGN
+
+    def test_width(self):
+        assert bit_width(np.dtype(np.float64)) == 64
+        assert bit_width(np.dtype(np.float32)) == 32
+
+    def test_roundtrip_bits(self):
+        for v in (0.0, -1.5, math.pi, 1e300, 5e-324):
+            assert bits_to_float(float_to_bits(v)) == v

@@ -1,0 +1,62 @@
+"""Injection correctness under general numpy broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.fi.tracer import Tracer, TracerMode
+from repro.numerics.bits import flip_bit_scalar
+from repro.taint.ops import FPOps
+from repro.taint.tracer_api import Operand
+from tests.conftest import make_inject_fp
+
+
+class TestOuterProductBroadcast:
+    def test_counts_are_output_sized(self):
+        tracer = Tracer(TracerMode.PROFILE)
+        fp = FPOps(tracer)
+        a = fp.asarray(np.ones((4, 1)))
+        b = fp.asarray(np.ones((1, 5)))
+        out = fp.mul(a, b)
+        assert out.shape == (4, 5)
+        assert tracer.profile.candidates(0) == 20
+
+    def test_lane_maps_to_broadcast_element_a(self, rng):
+        a = rng.standard_normal((3, 1))
+        b = rng.standard_normal((1, 4))
+        lane = 6  # row 1, col 2 of the 3x4 output
+        fp, tracer = make_inject_fp(index=lane, operand=Operand.A, bit=63)
+        out = fp.mul(fp.asarray(a), fp.asarray(b))
+        expected = a * b
+        expected[1, 2] = -a[1, 0] * b[0, 2]
+        np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-15)
+        assert tracer.all_flips_activated
+
+    def test_lane_maps_to_broadcast_element_b(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal(3)  # broadcast over rows
+        lane = 4  # row 1, col 1
+        fp, _ = make_inject_fp(index=lane, operand=Operand.B, bit=52)
+        out = fp.add(fp.asarray(a), fp.asarray(b))
+        expected = a + b
+        expected[1, 1] = a[1, 1] + flip_bit_scalar(b[1], 52)
+        np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-15)
+
+    def test_three_dim_twiddle_style_broadcast(self, rng):
+        """The FT twiddle pattern: (n2,1,1) constants times (n2,ny,nx)."""
+        data = rng.standard_normal((4, 2, 2))
+        w = rng.standard_normal((4, 1, 1))
+        lane = 9  # element (2, 0, 1)
+        fp, _ = make_inject_fp(index=lane, operand=Operand.B, bit=63)
+        out = fp.mul(fp.asarray(data), fp.asarray(w))
+        expected = data * w
+        expected[2, 0, 1] = data[2, 0, 1] * -w[2, 0, 0]
+        np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-15)
+
+    def test_only_target_lane_corrupted(self, rng):
+        a = rng.standard_normal((5, 1))
+        b = rng.standard_normal((1, 5))
+        fp, _ = make_inject_fp(index=12, operand=Operand.OUT, bit=40)
+        out = fp.mul(fp.asarray(a), fp.asarray(b))
+        diff = np.abs(out.to_numpy() - out.golden_numpy()) > 0
+        assert diff.sum() == 1
+        assert diff.reshape(-1)[12]

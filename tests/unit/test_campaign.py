@@ -1,0 +1,210 @@
+"""Tests for the campaign driver and the disk cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulatedCrashError
+from repro.fi.cache import cached_campaign
+from repro.fi.campaign import CampaignResult, Deployment, run_campaign
+from repro.fi.outcomes import Outcome
+
+
+class TinyApp:
+    """A deliberately simple SPMD app: distributed dot product.
+
+    The checker accepts relative deviations below ``tol``.
+    """
+
+    name = "tiny"
+
+    def __init__(self, n=64, tol=1e-9, crash_on_nan=False):
+        self.n = n
+        self.tol = tol
+        self.crash_on_nan = crash_on_nan
+
+    def program(self, rank, size, comm, fp):
+        chunk = self.n // size
+        x = fp.asarray(np.linspace(1.0, 2.0, chunk) + rank)
+        local = fp.dot(x, x)
+        if self.crash_on_nan:
+            # amplification squares corrupted magnitudes into overflow
+            amp = fp.mul(local, local)
+            amp = fp.mul(amp, amp)
+            if not np.isfinite(amp.value):
+                raise SimulatedCrashError("overflow detected")
+        total = yield comm.allreduce(local, op="sum")
+        if rank == 0:
+            return {"total": total.value}
+        return None
+
+    def verify(self, output, reference):
+        got, ref = output["total"], reference["total"]
+        if not (np.isfinite(got) and np.isfinite(ref)):
+            return False
+        return abs(got - ref) <= self.tol * abs(ref)
+
+    def cache_key(self):
+        return f"tiny(n={self.n},tol={self.tol},crash={self.crash_on_nan})"
+
+
+class TestDeployment:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Deployment(nprocs=0, trials=10)
+        with pytest.raises(ConfigurationError):
+            Deployment(nprocs=4, trials=0)
+        with pytest.raises(ConfigurationError):
+            Deployment(nprocs=4, trials=10, n_errors=2)  # needs target_rank
+
+    def test_multi_error_serial_defaults_to_rank0(self):
+        dep = Deployment(nprocs=1, trials=5, n_errors=3)
+        assert dep.effective_target_rank == 0
+
+
+class TestRunCampaign:
+    def test_rates_sum_to_one(self):
+        res = run_campaign(TinyApp(), Deployment(nprocs=4, trials=40, seed=1))
+        assert res.n_trials == 40
+        assert res.success_rate + res.sdc_rate + res.failure_rate == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self):
+        a = run_campaign(TinyApp(), Deployment(nprocs=2, trials=30, seed=5))
+        b = run_campaign(TinyApp(), Deployment(nprocs=2, trials=30, seed=5))
+        assert a.joint == b.joint
+
+    def test_different_seeds_differ(self):
+        a = run_campaign(TinyApp(), Deployment(nprocs=2, trials=60, seed=1))
+        b = run_campaign(TinyApp(), Deployment(nprocs=2, trials=60, seed=2))
+        assert a.joint != b.joint  # overwhelmingly likely
+
+    def test_propagation_counts_within_bounds(self):
+        res = run_campaign(TinyApp(), Deployment(nprocs=4, trials=50, seed=3))
+        assert all(1 <= n <= 4 for n in res.propagation_counts())
+
+    def test_crash_classified_as_failure(self):
+        res = run_campaign(
+            TinyApp(crash_on_nan=True), Deployment(nprocs=2, trials=120, seed=7)
+        )
+        # exponent flips regularly produce inf/nan in the dot product
+        assert res.failure_rate > 0
+
+    def test_records_kept_on_request(self):
+        res = run_campaign(
+            TinyApp(), Deployment(nprocs=1, trials=10, seed=0), keep_records=True
+        )
+        assert len(res.records) == 10
+
+    def test_conditional_success_rate(self):
+        res = run_campaign(TinyApp(), Deployment(nprocs=4, trials=60, seed=9))
+        for n in range(1, 5):
+            rate = res.success_rate_given_contaminated(n)
+            assert rate is None or 0.0 <= rate <= 1.0
+
+    def test_serial_multi_error_campaign(self):
+        res = run_campaign(
+            TinyApp(), Deployment(nprocs=1, trials=30, n_errors=5, seed=2)
+        )
+        assert res.n_trials == 30
+        # all five flips hit rank 0; contamination is exactly one process
+        assert set(res.propagation_counts()) <= {1}
+
+    def test_activation_rate(self):
+        res = run_campaign(TinyApp(), Deployment(nprocs=2, trials=20, seed=4))
+        assert 0.0 <= res.activation_rate() <= 1.0
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        dep = Deployment(nprocs=2, trials=25, seed=11)
+        first = cached_campaign(app, dep)
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        second = cached_campaign(app, dep)
+        assert second.joint == first.joint
+        assert second.parallel_unique_fraction == first.parallel_unique_fraction
+
+    def test_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        cached_campaign(TinyApp(), Deployment(nprocs=1, trials=5, seed=0))
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_corrupt_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        dep = Deployment(nprocs=1, trials=5, seed=0)
+        cached_campaign(app, dep)
+        (path,) = tmp_path.glob("*.json")
+        path.write_text("{ not json")
+        res = cached_campaign(app, dep)
+        assert res.n_trials == 5
+        assert json.loads(path.read_text())["app_name"] == "tiny"
+
+    def test_distinct_deployments_distinct_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        cached_campaign(app, Deployment(nprocs=1, trials=5, seed=0))
+        cached_campaign(app, Deployment(nprocs=1, trials=5, seed=1))
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_multibit_pattern_has_its_own_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        single = cached_campaign(app, Deployment(nprocs=1, trials=20, seed=0))
+        double = cached_campaign(
+            app, Deployment(nprocs=1, trials=20, seed=0, bits_per_error=2)
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        # a 2-bit fault is at least as damaging on average
+        assert double.success_rate <= single.success_rate + 0.2
+
+
+class TestMultiBitCampaign:
+    def test_two_bit_faults_fire_both_flips(self):
+        res = run_campaign(
+            TinyApp(), Deployment(nprocs=1, trials=30, seed=1, bits_per_error=2)
+        )
+        assert res.activation_rate() == 1.0
+
+    def test_validation(self):
+        import pytest as _pt
+
+        with _pt.raises(Exception):
+            Deployment(nprocs=1, trials=1, bits_per_error=0)
+
+
+class TestCampaignResultAccessors:
+    def test_rate_nan_when_empty(self):
+        res = CampaignResult(
+            app_name="x",
+            deployment=Deployment(nprocs=1, trials=1),
+            joint={},
+            parallel_unique_fraction=0.0,
+            total_instructions=0,
+            candidate_instructions=0,
+            profile_time=0.0,
+            injection_time=0.0,
+        )
+        assert np.isnan(res.success_rate)
+
+    def test_outcome_count(self):
+        res = CampaignResult(
+            app_name="x",
+            deployment=Deployment(nprocs=2, trials=3),
+            joint={
+                (Outcome.SUCCESS, 1, True): 2,
+                (Outcome.SDC, 2, True): 1,
+            },
+            parallel_unique_fraction=0.0,
+            total_instructions=0,
+            candidate_instructions=0,
+            profile_time=0.0,
+            injection_time=0.0,
+        )
+        assert res.outcome_count(Outcome.SUCCESS) == 2
+        assert res.success_rate == pytest.approx(2 / 3)
+        assert res.propagation_counts() == {1: 2, 2: 1}

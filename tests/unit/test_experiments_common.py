@@ -1,0 +1,70 @@
+"""Unit tests for experiment orchestration helpers."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.experiments.common import (
+    build_predictor,
+    measured_campaign,
+    serial_sample_results,
+    small_campaign,
+    unique_campaign,
+    unique_fraction,
+)
+from repro.model.predictor import extrapolate_unique_fraction
+from repro.taint.region import Region
+
+TRIALS = 10
+
+
+class TestCampaignBuilders:
+    def test_seed_roles_are_independent(self):
+        app = get_app("mg")
+        small = small_campaign(app, 2, TRIALS, seed=0)
+        measured = measured_campaign(app, 2, TRIALS, seed=0)
+        # same scale+trials but different roles -> different seed streams
+        assert small.deployment.seed != measured.deployment.seed
+
+    def test_serial_samples_are_serial_common_region(self):
+        app = get_app("mg")
+        out = serial_sample_results(app, target_nprocs=4, n_samples=2,
+                                    trials=TRIALS, seed=0)
+        assert set(out) == {1, 4}
+        for fi in out.values():
+            assert fi.n_trials == TRIALS
+
+    def test_unique_campaign_targets_unique_region(self):
+        app = get_app("cg")
+        res = unique_campaign(app, 2, TRIALS, seed=0)
+        assert res.deployment.region is Region.PARALLEL_UNIQUE
+
+    def test_unique_fraction_monotone_for_cg(self):
+        app = get_app("cg")
+        assert unique_fraction(app, 2) < unique_fraction(app, 8)
+
+    def test_build_predictor_skips_unique_term_for_mg(self):
+        predictor = build_predictor("mg", small_nprocs=2, target_nprocs=4,
+                                    trials=TRIALS)
+        assert predictor.inputs.unique_result is None
+        assert predictor.inputs.unique_fractions[2] == 0.0
+
+    def test_build_predictor_includes_unique_term_for_ft(self):
+        predictor = build_predictor("ft", small_nprocs=2, target_nprocs=4,
+                                    trials=TRIALS)
+        assert predictor.inputs.unique_result is not None
+
+    def test_predict_triple_is_distribution(self):
+        predictor = build_predictor("ft", small_nprocs=2, target_nprocs=4,
+                                    trials=TRIALS)
+        fi = predictor.predict(4)
+        assert fi.success + fi.sdc + fi.failure == pytest.approx(1.0)
+
+
+class TestExtrapolationEdgeCases:
+    def test_serial_only_point_ignored(self):
+        # p=1 has no parallel-unique computation by definition
+        assert extrapolate_unique_fraction({1: 0.0}, 64) == 0.0
+
+    def test_mixed_points_prefer_fit(self):
+        val = extrapolate_unique_fraction({1: 0.0, 4: 0.1, 8: 0.2}, 16)
+        assert val == pytest.approx(0.3, abs=1e-9)  # fit over p>1 points

@@ -1,0 +1,24 @@
+"""Printing paths of the figure harnesses (synthetic inputs)."""
+
+from repro.experiments.figure56 import _print_figure
+from repro.model.result import FaultInjectionResult
+
+
+def fi(success):
+    return FaultInjectionResult.from_rates(success, 1 - success, 0.0)
+
+
+class TestPrintFigure:
+    def test_prints_rows_and_summary(self, capsys):
+        results = {
+            "cg": {"predicted": fi(0.7), "measured": fi(0.8),
+                   "error": 0.1, "fine_tuned": True},
+            "ft": {"predicted": fi(0.6), "measured": fi(0.62),
+                   "error": 0.02, "fine_tuned": False},
+        }
+        _print_figure("Title X", results)
+        out = capsys.readouterr().out
+        assert "Title X" in out
+        assert "CG" in out and "FT" in out
+        assert "average error 6.0 pp" in out
+        assert "max 10.0 pp" in out

@@ -1,0 +1,87 @@
+"""Smaller units: error hierarchy, request objects, public API surface."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.errors import (
+    CommunicatorError,
+    ConfigurationError,
+    DeadlockError,
+    FaultActivatedError,
+    InjectionPlanError,
+    ReproError,
+    SimulatedCrashError,
+    SimulatedHangError,
+)
+from repro.mpisim.requests import (
+    ANY,
+    CollectiveKind,
+    RecvRequest,
+    SendRecvRequest,
+    _Wildcard,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, DeadlockError, CommunicatorError,
+         InjectionPlanError, FaultActivatedError, SimulatedCrashError,
+         SimulatedHangError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_crash_and_hang_are_fault_activated(self):
+        assert issubclass(SimulatedCrashError, FaultActivatedError)
+        assert issubclass(SimulatedHangError, FaultActivatedError)
+        # ... and the harness can distinguish them from config errors
+        assert not issubclass(FaultActivatedError, ConfigurationError)
+
+
+class TestRequests:
+    def test_wildcard_is_singleton(self):
+        assert _Wildcard() is ANY
+        assert repr(ANY) == "ANY"
+
+    def test_recv_matching(self):
+        req = RecvRequest(rank=0, source=2, tag=5)
+        assert req.matches(2, 5)
+        assert not req.matches(1, 5)
+        assert not req.matches(2, 6)
+        assert RecvRequest(rank=0, source=ANY, tag=ANY).matches(9, 9)
+
+    def test_sendrecv_recv_part(self):
+        req = SendRecvRequest(
+            rank=1, dest=2, send_tag=3, payload="x", source=0, recv_tag=4
+        )
+        part = req.recv_part()
+        assert (part.rank, part.source, part.tag) == (1, 0, 4)
+
+    def test_collective_kinds_complete(self):
+        names = {k.value for k in CollectiveKind}
+        assert names == {
+            "barrier", "bcast", "reduce", "allreduce",
+            "gather", "allgather", "scatter", "alltoall",
+        }
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_paper_apps_are_available(self):
+        for name in repro.paper_apps():
+            app = repro.get_app(name)
+            assert hasattr(app, "program") and hasattr(app, "verify")
+
+    def test_deployment_is_frozen(self):
+        dep = repro.Deployment(nprocs=1, trials=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            dep.nprocs = 2  # type: ignore[misc]

@@ -1,0 +1,243 @@
+"""Tests for the model layer: results, propagation, sampling, similarity."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fi.campaign import CampaignResult, Deployment
+from repro.fi.outcomes import Outcome
+from repro.model.metrics import prediction_error, rmse
+from repro.model.propagation import (
+    PropagationProfile,
+    group_histogram,
+    map_small_to_large,
+)
+from repro.model.result import FaultInjectionResult, result_given_contaminated
+from repro.model.sampling import SerialSamplePlan
+from repro.model.similarity import cosine_similarity
+
+
+def make_campaign(joint, nprocs=8):
+    return CampaignResult(
+        app_name="x",
+        deployment=Deployment(nprocs=nprocs, trials=sum(joint.values())),
+        joint=joint,
+        parallel_unique_fraction=0.0,
+        total_instructions=0,
+        candidate_instructions=0,
+        profile_time=0.0,
+        injection_time=0.0,
+    )
+
+
+class TestFaultInjectionResult:
+    def test_from_campaign(self):
+        camp = make_campaign({
+            (Outcome.SUCCESS, 1, True): 6,
+            (Outcome.SDC, 8, True): 3,
+            (Outcome.FAILURE, 2, True): 1,
+        })
+        fi = FaultInjectionResult.from_campaign(camp)
+        assert (fi.success, fi.sdc, fi.failure) == (0.6, 0.3, 0.1)
+
+    def test_sum_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjectionResult(success=0.5, sdc=0.5, failure=0.5, n_trials=10)
+
+    def test_normalized(self):
+        fi = FaultInjectionResult.from_rates(0.2, 0.2, 0.0).normalized()
+        assert fi.success == pytest.approx(0.5)
+
+    def test_normalized_degenerate(self):
+        fi = FaultInjectionResult.from_rates(0.0, 0.0, 0.0).normalized()
+        assert fi.success == 1.0
+
+    def test_confidence_interval(self):
+        fi = FaultInjectionResult(0.5, 0.5, 0.0, n_trials=100)
+        lo, hi = fi.success_interval()
+        assert lo < 0.5 < hi
+        assert hi - lo == pytest.approx(2 * 1.96 * 0.05, rel=1e-6)
+
+    def test_rate_accessor(self):
+        fi = FaultInjectionResult.from_rates(0.7, 0.2, 0.1)
+        assert fi.rate(Outcome.SDC) == 0.2
+
+    def test_conditional_result(self):
+        camp = make_campaign({
+            (Outcome.SUCCESS, 8, True): 3,
+            (Outcome.SDC, 8, True): 1,
+            (Outcome.SUCCESS, 1, True): 5,
+            (Outcome.SUCCESS, 2, False): 9,  # unactivated: excluded
+        })
+        cond = result_given_contaminated(camp, 8)
+        assert cond.success == pytest.approx(0.75)
+        assert cond.n_trials == 4
+        assert result_given_contaminated(camp, 5) is None
+
+
+class TestPropagationProfile:
+    def test_from_counts(self):
+        prof = PropagationProfile.from_counts({1: 7, 8: 3}, nprocs=8)
+        assert prof.r(1) == 0.7
+        assert prof.r(8) == 0.3
+        assert prof.r(4) == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            PropagationProfile.from_counts({0: 1}, nprocs=8)
+        with pytest.raises(ConfigurationError):
+            PropagationProfile.from_counts({9: 1}, nprocs=8)
+        with pytest.raises(ConfigurationError):
+            PropagationProfile.from_counts({}, nprocs=8)
+
+    def test_grouping_conserves_mass(self):
+        prof = PropagationProfile.from_counts({1: 5, 17: 3, 64: 2}, nprocs=64)
+        grouped = group_histogram(prof, 8)
+        assert grouped.sum() == pytest.approx(1.0)
+        assert grouped[0] == 0.5  # cases 1..8
+        assert grouped[2] == 0.3  # cases 17..24
+        assert grouped[7] == 0.2  # cases 57..64
+
+    def test_grouping_requires_divisibility(self):
+        prof = PropagationProfile.from_counts({1: 1}, nprocs=8)
+        with pytest.raises(ConfigurationError):
+            group_histogram(prof, 3)
+
+    def test_eq5_mapping_mass_and_values(self):
+        small = PropagationProfile.from_counts({1: 8, 4: 2}, nprocs=4)
+        large = map_small_to_large(small, 64)
+        assert sum(large.probabilities) == pytest.approx(1.0)
+        # group 1 (cases 1..16) inherits r'_1 = 0.8 spread over 16 cases
+        assert large.r(1) == pytest.approx(0.8 / 16)
+        assert large.r(16) == pytest.approx(0.8 / 16)
+        assert large.r(17) == pytest.approx(0.0)
+        assert large.r(64) == pytest.approx(0.2 / 16)
+
+    def test_interpolation_mode_valid_distribution(self):
+        small = PropagationProfile.from_counts({1: 6, 4: 4}, nprocs=4)
+        interp = map_small_to_large(small, 32, mode="interpolate")
+        assert sum(interp.probabilities) == pytest.approx(1.0)
+        # interpolation smears mass across group boundaries, unlike Eq. 5
+        # (case 8 is inside group 1 but already blends toward group 2's 0)
+        assert 0 < interp.r(8) < interp.r(1)
+
+    def test_unknown_mode_rejected(self):
+        small = PropagationProfile.from_counts({1: 1}, nprocs=4)
+        with pytest.raises(ConfigurationError):
+            map_small_to_large(small, 8, mode="nearest")
+
+    def test_eq5_roundtrip_with_grouping(self):
+        """Projecting up then grouping down recovers the small profile."""
+        small = PropagationProfile.from_counts({1: 3, 2: 2, 4: 5}, nprocs=4)
+        large = map_small_to_large(small, 32)
+        back = group_histogram(large, 4)
+        np.testing.assert_allclose(back, small.as_array(), atol=1e-12)
+
+    @given(
+        counts=st.dictionaries(
+            st.integers(1, 8), st.integers(1, 50), min_size=1, max_size=8
+        )
+    )
+    def test_profile_always_sums_to_one(self, counts):
+        prof = PropagationProfile.from_counts(counts, nprocs=8)
+        assert sum(prof.probabilities) == pytest.approx(1.0)
+
+
+class TestCosineSimilarity:
+    def test_identical_is_one(self):
+        assert cosine_similarity([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self):
+        assert cosine_similarity([1, 0], [0, 1]) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1], [1, 2])
+
+    @given(
+        a=st.lists(st.floats(0, 100), min_size=2, max_size=10),
+        b=st.lists(st.floats(0, 100), min_size=2, max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_bounded(self, a, b):
+        n = min(len(a), len(b))
+        value = cosine_similarity(a[:n], b[:n])
+        assert 0.0 <= value <= 1.0  # non-negative inputs
+
+
+class TestSamplePlan:
+    def test_paper_example(self):
+        """p=64, S=4 must measure x in {1, 32, 48, 64} (paper §4.2)."""
+        plan = SerialSamplePlan(large_nprocs=64, n_samples=4)
+        assert plan.sample_cases == (1, 32, 48, 64)
+
+    def test_group_mapping_matches_eq7(self):
+        plan = SerialSamplePlan(large_nprocs=64, n_samples=4)
+        assert plan.sample_for(2) == 1
+        assert plan.sample_for(16) == 1
+        assert plan.sample_for(17) == 32
+        assert plan.sample_for(33) == 48
+        assert plan.sample_for(49) == 64
+        assert plan.sample_for(64) == 64
+
+    def test_full_sampling(self):
+        plan = SerialSamplePlan(large_nprocs=8, n_samples=8)
+        assert plan.sample_cases == (1, 2, 3, 4, 5, 6, 7, 8)
+        assert all(plan.sample_for(x) == x for x in range(1, 9))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SerialSamplePlan(large_nprocs=64, n_samples=0)
+        with pytest.raises(ConfigurationError):
+            SerialSamplePlan(large_nprocs=64, n_samples=5)
+        plan = SerialSamplePlan(large_nprocs=8, n_samples=4)
+        with pytest.raises(ConfigurationError):
+            plan.group_of(9)
+
+
+class TestConditionalConsistency:
+    def test_conditionals_partition_the_campaign(self):
+        """Conditional slices must add back up to the aggregate rates."""
+        joint = {
+            (Outcome.SUCCESS, 1, True): 10,
+            (Outcome.SDC, 1, True): 5,
+            (Outcome.SUCCESS, 8, True): 12,
+            (Outcome.FAILURE, 8, True): 3,
+        }
+        camp = make_campaign(joint)
+        total = camp.n_trials
+        recomposed = 0.0
+        for n in (1, 8):
+            cond = result_given_contaminated(camp, n)
+            weight = sum(
+                c for (_, nc, act), c in joint.items() if act and nc == n
+            ) / total
+            recomposed += weight * cond.success
+        assert recomposed == pytest.approx(camp.success_rate)
+
+
+class TestMetrics:
+    def test_prediction_error(self):
+        a = FaultInjectionResult.from_rates(0.8, 0.2, 0.0)
+        b = FaultInjectionResult.from_rates(0.7, 0.3, 0.0)
+        assert prediction_error(a, b) == pytest.approx(0.1)
+
+    def test_rmse_paper_equation(self):
+        pairs = [
+            (FaultInjectionResult.from_rates(0.8, 0.2, 0.0),
+             FaultInjectionResult.from_rates(0.7, 0.3, 0.0)),
+            (FaultInjectionResult.from_rates(0.5, 0.5, 0.0),
+             FaultInjectionResult.from_rates(0.8, 0.2, 0.0)),
+        ]
+        expected = math.sqrt((0.1**2 + 0.3**2) / 2)
+        assert rmse(pairs) == pytest.approx(expected)
+
+    def test_rmse_empty(self):
+        with pytest.raises(ValueError):
+            rmse([])

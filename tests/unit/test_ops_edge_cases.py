@@ -1,0 +1,86 @@
+"""Edge-case coverage for traced ops and plan/region interactions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionPlanError
+from repro.fi.campaign import Deployment, run_campaign
+from repro.fi.plan import sample_plan
+from repro.fi.profile import InstructionProfile
+from repro.fi.tracer import Tracer, TracerMode
+from repro.taint.ops import FPOps
+from repro.taint.region import Region
+from repro.taint.tarray import TArray
+from repro.taint.tracer_api import OpKind
+from repro.utils.rng import spawn_rng
+from tests.unit.test_campaign import TinyApp
+
+
+class TestOpsEdges:
+    def test_div_by_zero_propagates_inf(self, fp):
+        out = fp.div(fp.asarray([1.0]), 0.0)
+        assert np.isinf(out.to_numpy()[0])
+        assert not out.diverged  # both paths equally infinite
+
+    def test_min_max_on_diverged(self, fp):
+        bad = TArray(np.array([1.0, 5.0]), np.array([1.0, -7.0]))
+        assert fp.max(bad).value == 1.0
+        assert fp.max(bad).golden_value == 5.0
+        assert fp.min(bad).diverged
+
+    def test_where_with_scalar_branches(self, fp):
+        out = fp.where(np.array([True, False]), 1.5, fp.asarray([0.0, 0.0]))
+        np.testing.assert_array_equal(out.to_numpy(), [1.5, 0.0])
+
+    def test_sqrt_of_negative_faulty_gives_nan(self, fp):
+        bad = TArray(np.array([4.0]), np.array([-4.0]))
+        out = fp.sqrt(bad)
+        assert np.isnan(out.to_numpy()[0])
+        assert out.golden_numpy()[0] == 2.0
+
+    def test_sum_of_empty(self, fp):
+        assert fp.sum(fp.asarray(np.zeros(0))).value == 0.0
+
+    def test_segment_sum_all_empty_segments(self, fp):
+        out = fp.segment_sum(fp.asarray(np.zeros(0)), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out.to_numpy(), [0.0, 0.0])
+
+
+class TestRegionMisconfiguration:
+    def test_unique_region_plan_fails_without_unique_instructions(self):
+        profile = InstructionProfile()
+        profile.record(0, Region.COMMON, OpKind.ADD, 100)
+        with pytest.raises(InjectionPlanError, match="no candidate instructions"):
+            sample_plan(
+                profile, spawn_rng(0, "x"), region=Region.PARALLEL_UNIQUE,
+                target_rank=0,
+            )
+
+    def test_campaign_surfaces_the_misconfiguration(self):
+        """TinyApp has no parallel-unique region: the deployment is a
+        user error and must fail loudly, not silently succeed."""
+        dep = Deployment(nprocs=2, trials=3, region=Region.PARALLEL_UNIQUE)
+        with pytest.raises(InjectionPlanError):
+            run_campaign(TinyApp(), dep)
+
+
+class TestRegionStack:
+    def test_nested_regions_restore(self):
+        tracer = Tracer(TracerMode.PROFILE)
+        fp = FPOps(tracer)
+        a = fp.asarray([1.0])
+        with fp.region(Region.PARALLEL_UNIQUE):
+            with fp.region(Region.COMMON):
+                fp.add(a, a)
+            assert fp.current_region is Region.PARALLEL_UNIQUE
+            fp.add(a, a)
+        assert fp.current_region is Region.COMMON
+        assert tracer.profile.candidates(0, Region.COMMON) == 1
+        assert tracer.profile.candidates(0, Region.PARALLEL_UNIQUE) == 1
+
+    def test_region_restored_after_exception(self):
+        fp = FPOps()
+        with pytest.raises(RuntimeError):
+            with fp.region(Region.PARALLEL_UNIQUE):
+                raise RuntimeError("boom")
+        assert fp.current_region is Region.COMMON

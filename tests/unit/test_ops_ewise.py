@@ -1,0 +1,202 @@
+"""Elementwise traced operations: correctness, tracing, injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fi.profile import InstructionProfile
+from repro.fi.tracer import Tracer, TracerMode
+from repro.numerics.bits import flip_bit_scalar
+from repro.taint.ops import FPOps
+from repro.taint.region import Region
+from repro.taint.tarray import TArray
+from repro.taint.tracer_api import Operand, OpKind
+from tests.conftest import make_inject_fp
+
+
+class TestPlainCorrectness:
+    """Without injection, traced ops must equal plain numpy."""
+
+    @pytest.mark.parametrize(
+        "op,ufunc",
+        [("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+         ("div", np.divide), ("minimum", np.minimum), ("maximum", np.maximum)],
+    )
+    def test_binary_matches_numpy(self, fp, rng, op, ufunc):
+        a, b = rng.standard_normal(32), rng.standard_normal(32) + 3.0
+        out = getattr(fp, op)(fp.asarray(a), fp.asarray(b))
+        np.testing.assert_array_equal(out.to_numpy(), ufunc(a, b))
+        assert not out.diverged
+
+    @pytest.mark.parametrize(
+        "op,ufunc",
+        [("neg", np.negative), ("abs", np.abs), ("sqrt", np.sqrt),
+         ("exp", np.exp), ("log", np.log), ("sin", np.sin), ("cos", np.cos),
+         ("reciprocal", np.reciprocal)],
+    )
+    def test_unary_matches_numpy(self, fp, rng, op, ufunc):
+        a = rng.uniform(0.5, 2.0, size=16)
+        out = getattr(fp, op)(fp.asarray(a))
+        np.testing.assert_array_equal(out.to_numpy(), ufunc(a))
+
+    def test_scalar_broadcast(self, fp):
+        out = fp.mul(fp.asarray([1.0, 2.0]), 3.0)
+        np.testing.assert_array_equal(out.to_numpy(), [3.0, 6.0])
+
+    def test_general_broadcast(self, fp, rng):
+        a = rng.standard_normal((4, 1, 3))
+        b = rng.standard_normal((2, 1))
+        out = fp.add(fp.asarray(a), fp.asarray(b))
+        np.testing.assert_array_equal(out.to_numpy(), a + b)
+
+    def test_where_and_comparisons(self, fp):
+        a = fp.asarray([1.0, 5.0, 3.0])
+        b = fp.asarray([4.0, 2.0, 3.0])
+        mask = fp.greater(a, b)
+        np.testing.assert_array_equal(mask, [False, True, False])
+        np.testing.assert_array_equal(fp.less(a, b), [True, False, False])
+        out = fp.where(mask, a, b)
+        np.testing.assert_array_equal(out.to_numpy(), [4.0, 5.0, 3.0])
+
+
+class TestInstructionAccounting:
+    def test_candidate_counts(self):
+        tracer = Tracer(TracerMode.PROFILE)
+        fp = FPOps(tracer, rank=3)
+        a = fp.asarray(np.ones(10))
+        fp.add(a, a)          # 10 ADD
+        fp.mul(a, 2.0)        # 10 MUL
+        fp.div(a, a)          # 10 DIV (not candidate)
+        prof: InstructionProfile = tracer.profile
+        assert prof.candidates(3) == 20
+        assert prof.total_instructions(3) == 30
+        assert prof.counts[(3, Region.COMMON, OpKind.DIV)] == 10
+
+    def test_region_tagging(self):
+        tracer = Tracer(TracerMode.PROFILE)
+        fp = FPOps(tracer)
+        a = fp.asarray(np.ones(4))
+        fp.add(a, a)
+        with fp.region(Region.PARALLEL_UNIQUE):
+            fp.add(a, a)
+            assert fp.current_region is Region.PARALLEL_UNIQUE
+        assert fp.current_region is Region.COMMON
+        assert tracer.profile.candidates(0, Region.COMMON) == 4
+        assert tracer.profile.candidates(0, Region.PARALLEL_UNIQUE) == 4
+        assert tracer.profile.parallel_unique_fraction() == 0.5
+
+
+class TestInjection:
+    def test_operand_a_flip(self, rng):
+        a, b = rng.standard_normal(8), rng.standard_normal(8)
+        fp, tracer = make_inject_fp(index=3, operand=Operand.A, bit=63)
+        out = fp.add(fp.asarray(a), fp.asarray(b))
+        expected = a + b
+        expected[3] = -a[3] + b[3]
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+        np.testing.assert_array_equal(out.golden_numpy(), a + b)
+        assert out.diverged and tracer.contaminated == {0}
+        assert tracer.all_flips_activated
+
+    def test_operand_b_flip(self, rng):
+        a, b = rng.standard_normal(8), rng.standard_normal(8)
+        fp, _ = make_inject_fp(index=0, operand=Operand.B, bit=63)
+        out = fp.mul(fp.asarray(a), fp.asarray(b))
+        assert out.to_numpy()[0] == a[0] * -b[0]
+
+    def test_operand_out_flip(self, rng):
+        a = rng.standard_normal(4)
+        fp, _ = make_inject_fp(index=2, operand=Operand.OUT, bit=52)
+        out = fp.add(fp.asarray(a), 0.0)
+        assert out.to_numpy()[2] == flip_bit_scalar(a[2], 52)
+
+    def test_flip_is_transient_not_persistent(self, rng):
+        """The stored input array must never be corrupted."""
+        a = fp_in = TArray.fresh(rng.standard_normal(4))
+        fp, _ = make_inject_fp(index=1, operand=Operand.A, bit=63)
+        fp.add(fp_in, 1.0)
+        np.testing.assert_array_equal(a.to_numpy(), a.golden_numpy())
+
+    def test_index_counts_across_ops(self, rng):
+        """The candidate stream spans consecutive operations."""
+        a = rng.standard_normal(4)
+        fp, tracer = make_inject_fp(index=6, operand=Operand.OUT, bit=63)
+        first = fp.add(fp.asarray(a), 0.0)   # indices 0..3
+        second = fp.add(fp.asarray(a), 0.0)  # indices 4..7 -> lane 2
+        assert not first.diverged
+        assert second.to_numpy()[2] == -a[2]
+
+    def test_noncandidate_ops_do_not_consume_indices(self, rng):
+        a = rng.uniform(1.0, 2.0, 4)
+        fp, _ = make_inject_fp(index=0, operand=Operand.OUT, bit=63)
+        fp.sqrt(fp.asarray(a))               # OTHER: no candidates
+        out = fp.add(fp.asarray(a), 0.0)     # first candidate op
+        assert out.diverged
+
+    def test_injection_into_broadcast_scalar_operand(self):
+        fp, _ = make_inject_fp(index=2, operand=Operand.B, bit=63)
+        out = fp.mul(fp.asarray([1.0, 2.0, 3.0, 4.0]), 2.0)
+        np.testing.assert_array_equal(out.to_numpy(), [2.0, 4.0, -6.0, 8.0])
+
+    def test_multibit_same_site_composes(self, rng):
+        """Two flips on the same instruction operand XOR both bits."""
+        from repro.fi.plan import InjectionPlan, PlannedFlip
+        from repro.fi.tracer import Tracer, TracerMode
+        from repro.taint.region import Region
+
+        a = rng.standard_normal(4)
+        plan = InjectionPlan(flips=(
+            PlannedFlip(rank=0, region=Region.COMMON, index=1,
+                        operand=Operand.A, bit=63),
+            PlannedFlip(rank=0, region=Region.COMMON, index=1,
+                        operand=Operand.A, bit=52),
+        ))
+        tracer = Tracer(TracerMode.INJECT, plan)
+        fp = FPOps(tracer)
+        out = fp.add(fp.asarray(a), 0.0)
+        expected = flip_bit_scalar(flip_bit_scalar(a[1], 63), 52)
+        assert out.to_numpy()[1] == expected
+        assert tracer.all_flips_activated
+
+    def test_mantissa_absorption_keeps_clean(self):
+        """A flip whose arithmetic effect rounds away must not diverge."""
+        # adding 1 ulp-of-tiny to a huge number: flip the tiny operand
+        fp, tracer = make_inject_fp(index=0, operand=Operand.B, bit=0)
+        out = fp.add(fp.asarray([1e300]), fp.asarray([1e-300]))
+        assert not out.diverged
+        assert tracer.contaminated == set()
+        assert tracer.all_flips_activated  # the flip fired, then vanished
+
+    def test_where_propagates_divergence(self, rng):
+        fp, _ = make_inject_fp(index=0, operand=Operand.OUT, bit=63)
+        a = fp.add(fp.asarray([2.0, 3.0]), 0.0)  # lane 0 corrupted
+        assert a.diverged
+        picked = fp.where(np.array([True, False]), a, fp.asarray([0.0, 0.0]))
+        assert picked.diverged
+
+
+class TestDivergencePropagation:
+    def test_diverged_input_produces_diverged_output(self):
+        fp = FPOps()
+        bad = TArray(np.array([1.0]), np.array([2.0]))
+        out = fp.add(bad, 1.0)
+        assert out.diverged
+        assert out.to_numpy()[0] == 3.0 and out.golden_numpy()[0] == 2.0
+
+    def test_multiply_by_zero_collapses(self):
+        """Corruption annihilated by x*0 re-shares golden and faulty."""
+        fp = FPOps()
+        bad = TArray(np.array([1.0]), np.array([2.0]))
+        out = fp.mul(bad, 0.0)
+        assert not out.diverged
+
+    @given(st.integers(0, 62))
+    def test_flip_then_subtract_self_is_clean(self, bit):
+        fp = FPOps()
+        flipped = flip_bit_scalar(1.5, bit)
+        bad = TArray(np.array([1.5]), np.array([flipped]))
+        out = fp.sub(bad, bad)
+        if np.isfinite(flipped):
+            assert not out.diverged  # x - x == 0 on both paths
+        else:
+            assert out.diverged  # inf - inf = NaN differs from golden 0.0

@@ -1,0 +1,181 @@
+"""Tests for the fine-tuner and the Eq. 1/4/8 predictor on fixtures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fi.campaign import CampaignResult, Deployment
+from repro.fi.outcomes import Outcome
+from repro.model.finetune import AlphaFineTuner, needs_fine_tuning
+from repro.model.predictor import (
+    PredictionInputs,
+    ResiliencePredictor,
+    extrapolate_unique_fraction,
+)
+from repro.model.result import FaultInjectionResult
+
+
+def campaign_from(joint, nprocs):
+    return CampaignResult(
+        app_name="fix",
+        deployment=Deployment(nprocs=nprocs, trials=sum(joint.values())),
+        joint=joint,
+        parallel_unique_fraction=0.0,
+        total_instructions=0,
+        candidate_instructions=0,
+        profile_time=0.0,
+        injection_time=0.0,
+    )
+
+
+def fi(success, sdc=None, failure=0.0):
+    sdc = 1.0 - success - failure if sdc is None else sdc
+    return FaultInjectionResult.from_rates(success, sdc, failure)
+
+
+#: small scale: 4 ranks, 60% of tests stay at 1 rank, 40% reach all 4;
+#: conditional success: 0.9 given 1 contaminated, 0.5 given 4.
+SMALL_JOINT = {
+    (Outcome.SUCCESS, 1, True): 54,
+    (Outcome.SDC, 1, True): 6,
+    (Outcome.SUCCESS, 4, True): 20,
+    (Outcome.SDC, 4, True): 20,
+}
+
+
+def make_inputs(serial=None, unique_result=None, fractions=None, probe=None):
+    serial = serial or {1: fi(0.9), 32: fi(0.6), 48: fi(0.5), 64: fi(0.4)}
+    return PredictionInputs(
+        serial_samples=serial,
+        small_campaign=campaign_from(SMALL_JOINT, nprocs=4),
+        unique_result=unique_result,
+        unique_fractions=fractions or {},
+        serial_probe=probe,
+    )
+
+
+class TestTrigger:
+    def test_needs_fine_tuning_threshold(self):
+        assert needs_fine_tuning(fi(0.5), fi(0.8), threshold=0.2)
+        assert not needs_fine_tuning(fi(0.75), fi(0.8), threshold=0.2)
+
+    def test_trigger_uses_probe_emulation(self):
+        # small overall success = 0.74; serial emulation with probe 0.1:
+        # 0.6*0.9 + 0.4*0.1 = 0.58 -> disagreement > 20% -> fine-tune
+        pred = ResiliencePredictor(make_inputs(probe=fi(0.1)))
+        assert pred.fine_tuning_active
+        # with a well-matching probe (0.5): 0.6*0.9+0.4*0.5 = 0.74 -> no
+        pred2 = ResiliencePredictor(make_inputs(probe=fi(0.5)))
+        assert not pred2.fine_tuning_active
+
+    def test_trigger_without_probe_compares_single_error(self):
+        pred = ResiliencePredictor(make_inputs(probe=None))
+        # serial_1 success 0.9 vs small 0.74 -> 21.6% difference -> tuned
+        assert pred.fine_tuning_active
+
+
+class TestPredictCommon:
+    def test_eq8_hand_computed(self):
+        pred = ResiliencePredictor(make_inputs(probe=fi(0.5)))
+        out = pred.predict_common(64)
+        # weights from SMALL_JOINT: r' = (0.6, 0, 0, 0.4); samples (1,32,48,64)
+        assert out.success == pytest.approx(0.6 * 0.9 + 0.4 * 0.4)
+
+    def test_eq8_with_fine_tuning_replaces_samples(self):
+        pred = ResiliencePredictor(make_inputs(probe=fi(0.0)))
+        assert pred.fine_tuning_active
+        out = pred.predict_common(64)
+        # group 1 -> small conditional at 1 (0.9); group 4 -> cond at 4 (0.5)
+        # groups 2,3 have zero weight
+        assert out.success == pytest.approx(0.6 * 0.9 + 0.4 * 0.5)
+
+    def test_prediction_in_convex_hull(self):
+        pred = ResiliencePredictor(make_inputs(probe=fi(0.5)))
+        out = pred.predict_common(64)
+        rates = [r.success for r in pred.inputs.serial_samples.values()]
+        assert min(rates) <= out.success <= max(rates)
+
+    def test_missing_sample_raises(self):
+        inputs = make_inputs(serial={1: fi(0.9), 32: fi(0.6)}, probe=fi(0.5))
+        with pytest.raises(ConfigurationError):
+            ResiliencePredictor(inputs).predict_common(64)
+
+    def test_triple_sums_to_one(self):
+        pred = ResiliencePredictor(make_inputs(probe=fi(0.5)))
+        out = pred.predict_common(64)
+        assert out.success + out.sdc + out.failure == pytest.approx(1.0)
+
+
+class TestUniqueTerm:
+    def test_ignored_when_fraction_small(self):
+        pred = ResiliencePredictor(
+            make_inputs(unique_result=fi(0.0), fractions={4: 0.001, 64: 0.001},
+                        probe=fi(0.5))
+        )
+        assert pred.predict(64).success == pytest.approx(
+            pred.predict_common(64).success
+        )
+
+    def test_eq1_weighting(self):
+        pred = ResiliencePredictor(
+            make_inputs(unique_result=fi(0.2), fractions={4: 0.10, 64: 0.30},
+                        probe=fi(0.5))
+        )
+        common = pred.predict_common(64).success
+        full = pred.predict(64).success
+        assert full == pytest.approx(0.7 * common + 0.3 * 0.2)
+
+    def test_missing_unique_result_falls_back_to_common(self):
+        pred = ResiliencePredictor(
+            make_inputs(unique_result=None, fractions={64: 0.4}, probe=fi(0.5))
+        )
+        assert pred.predict(64).success == pytest.approx(
+            pred.predict_common(64).success
+        )
+
+
+class TestExtrapolation:
+    def test_exact_point_preferred(self):
+        assert extrapolate_unique_fraction({4: 0.1, 64: 0.3}, 64) == 0.3
+
+    def test_single_point_log_scaling(self):
+        out = extrapolate_unique_fraction({4: 0.1}, 16)
+        assert out == pytest.approx(0.1 * 4 / 2)
+
+    def test_two_point_fit(self):
+        # exact log2 line: f = 0.05 * log2(p)
+        out = extrapolate_unique_fraction({4: 0.10, 8: 0.15}, 64)
+        assert out == pytest.approx(0.30, abs=1e-9)
+
+    def test_empty_gives_zero(self):
+        assert extrapolate_unique_fraction({}, 64) == 0.0
+
+    def test_clamped(self):
+        assert extrapolate_unique_fraction({4: 0.9}, 1 << 20) <= 0.95
+
+
+class TestAlphaFineTuner:
+    def test_group_replacement(self):
+        tuner = AlphaFineTuner.from_campaign(campaign_from(SMALL_JOINT, nprocs=4))
+        out = tuner.tuned_for_group(4, 4, fi(0.1))
+        assert out.success == pytest.approx(0.5)  # small conditional at 4
+
+    def test_missing_conditional_falls_back_down(self):
+        tuner = AlphaFineTuner.from_campaign(campaign_from(SMALL_JOINT, nprocs=4))
+        # group 3 -> conditional at 3 missing -> walks down to 1 (0.9)
+        out = tuner.tuned_for_group(3, 4, fi(0.2))
+        assert out.success == pytest.approx(0.9)
+
+    def test_no_conditionals_keeps_serial(self):
+        joint = {(Outcome.SUCCESS, 2, False): 10}  # only unactivated trials
+        tuner = AlphaFineTuner.from_campaign(campaign_from(joint, nprocs=4))
+        serial = fi(0.33)
+        assert tuner.tuned_for_group(2, 4, serial) is serial
+
+    @given(success=st.floats(0.0, 1.0))
+    @settings(max_examples=30)
+    def test_tuned_output_is_valid_distribution(self, success):
+        tuner = AlphaFineTuner.from_campaign(campaign_from(SMALL_JOINT, nprocs=4))
+        out = tuner.tuned_for_group(1, 4, fi(success))
+        total = out.success + out.sdc + out.failure
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,139 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fi.plan import sample_plan
+from repro.fi.profile import InstructionProfile
+from repro.fi.tracer import Tracer, TracerMode
+from repro.model.propagation import (
+    PropagationProfile,
+    group_histogram,
+    map_small_to_large,
+)
+from repro.model.similarity import cosine_similarity
+from repro.model.sampling import SerialSamplePlan
+from repro.mpisim import execute_spmd
+from repro.taint.ops import FPOps
+from repro.taint.region import Region
+from repro.taint.tracer_api import OpKind
+from repro.utils.rng import spawn_rng
+
+
+class TestRandomRingExchanges:
+    """The scheduler must deliver arbitrary ring-shift patterns intact."""
+
+    @given(
+        size=st.integers(2, 6),
+        shifts=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ring_shifts_permute_values(self, size, shifts):
+        def prog(rank, p, comm, fp):
+            value = rank
+            for i, shift in enumerate(shifts):
+                s = shift % p
+                value = yield comm.sendrecv(
+                    (rank + s) % p, value, source=(rank - s) % p, send_tag=i,
+                )
+            return value
+
+        outs = execute_spmd(prog, size)
+        total_shift = sum(s % size for s in shifts) % size
+        expected = [(r - total_shift) % size for r in range(size)]
+        assert outs == expected
+
+    @given(size=st.integers(1, 6), payloads=st.lists(st.integers(), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_allgather_order(self, size, payloads):
+        def prog(rank, p, comm, fp):
+            got = yield comm.allgather((rank, payloads[rank % len(payloads)]))
+            return got
+
+        outs = execute_spmd(prog, size)
+        for o in outs:
+            assert [pair[0] for pair in o] == list(range(size))
+
+
+class TestTracerStreamInvariants:
+    @given(
+        chunks=st.lists(st.integers(1, 50), min_size=1, max_size=20),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_sampled_index_fires_exactly_once(self, chunks, seed):
+        """However an op stream is chunked, a planned flip fires once."""
+        profile = InstructionProfile()
+        profile.record(0, Region.COMMON, OpKind.ADD, sum(chunks))
+        plan = sample_plan(profile, spawn_rng(seed, "t"))
+        tracer = Tracer(TracerMode.INJECT, plan)
+        fired = []
+        for c in chunks:
+            fired.extend(tracer.account(0, Region.COMMON, OpKind.ADD, c))
+        assert len(fired) == 1
+        assert tracer.all_flips_activated
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_sampling_stays_in_candidate_space(self, seed):
+        profile = InstructionProfile()
+        profile.record(0, Region.COMMON, OpKind.ADD, 17)
+        profile.record(0, Region.PARALLEL_UNIQUE, OpKind.MUL, 3)
+        plan = sample_plan(profile, spawn_rng(seed, "p"), n_errors=2, target_rank=0)
+        for flip in plan.flips:
+            assert flip.index < profile.candidates(0, flip.region)
+
+
+class TestTaintAlgebra:
+    @given(
+        data=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=32),
+        scale=st.floats(-10, 10),
+    )
+    @settings(max_examples=40)
+    def test_clean_inputs_stay_clean(self, data, scale):
+        fp = FPOps()
+        x = fp.asarray(np.array(data))
+        y = fp.add(fp.mul(x, scale), 1.0)
+        z = fp.sum(y)
+        assert not y.diverged and not z.diverged
+
+    @given(data=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=32))
+    @settings(max_examples=40)
+    def test_traced_sum_equals_numpy(self, data):
+        fp = FPOps()
+        arr = np.array(data)
+        assert fp.sum(fp.asarray(arr)).value == pytest.approx(
+            np.sum(arr), rel=1e-9, abs=1e-9
+        )
+
+
+class TestModelProperties:
+    @given(
+        counts=st.dictionaries(st.integers(1, 4), st.integers(1, 30), min_size=1),
+        factor=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=40)
+    def test_projection_then_grouping_is_identity(self, counts, factor):
+        small = PropagationProfile.from_counts(counts, nprocs=4)
+        large = map_small_to_large(small, 4 * factor)
+        back = group_histogram(large, 4)
+        np.testing.assert_allclose(back, small.as_array(), atol=1e-12)
+
+    @given(
+        p_exp=st.integers(3, 7),
+        s_exp=st.integers(0, 5),
+    )
+    @settings(max_examples=30)
+    def test_sample_plan_covers_every_case(self, p_exp, s_exp):
+        p = 1 << p_exp
+        s = 1 << min(s_exp, p_exp)
+        plan = SerialSamplePlan(large_nprocs=p, n_samples=s)
+        cases = set(plan.sample_cases)
+        for x in range(1, p + 1):
+            assert plan.sample_for(x) in cases
+
+    @given(v=st.lists(st.floats(0.001, 100), min_size=2, max_size=12))
+    @settings(max_examples=30)
+    def test_cosine_self_similarity(self, v):
+        assert cosine_similarity(v, v) == pytest.approx(1.0)

@@ -1,0 +1,352 @@
+"""Tests for the simulated MPI scheduler, communicator and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, DeadlockError, SimulatedHangError
+from repro.mpisim import ANY, Communicator, execute_spmd
+from repro.mpisim.collectives import payload_diverged, reduce_payloads
+from repro.taint.tarray import TArray
+from repro.taint.tracer_api import NullSink
+
+
+def run(program, size, sink=None, max_steps=None):
+    return execute_spmd(program, size, sink=sink, max_steps=max_steps)
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.send(1, "hello", tag=7)
+                return "sent"
+            msg = yield comm.recv(source=0, tag=7)
+            return msg
+
+        assert run(prog, 2) == ["sent", "hello"]
+
+    def test_fifo_per_channel(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                for i in range(5):
+                    yield comm.send(1, i, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield comm.recv(source=0, tag=1)))
+            return got
+
+        assert run(prog, 2)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.send(1, "a", tag=1)
+                yield comm.send(1, "b", tag=2)
+                return None
+            second = yield comm.recv(source=0, tag=2)
+            first = yield comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run(prog, 2)[1] == ("a", "b")
+
+    def test_wildcard_source_and_tag(self):
+        def prog(rank, size, comm, fp):
+            if rank == 2:
+                a = yield comm.recv(source=ANY, tag=ANY)
+                b = yield comm.recv(source=ANY, tag=ANY)
+                return sorted([a, b])
+            yield comm.send(2, rank, tag=rank)
+            return None
+
+        assert run(prog, 3)[2] == [0, 1]
+
+    def test_sendrecv_pairwise_swap(self):
+        def prog(rank, size, comm, fp):
+            partner = rank ^ 1
+            got = yield comm.sendrecv(partner, f"from{rank}", send_tag=3)
+            return got
+
+        assert run(prog, 2) == ["from1", "from0"]
+
+    def test_sendrecv_chain_different_peers(self):
+        def prog(rank, size, comm, fp):
+            got = yield comm.sendrecv(
+                (rank + 1) % size, rank, source=(rank - 1) % size, send_tag=0
+            )
+            return got
+
+        assert run(prog, 4) == [3, 0, 1, 2]
+
+    def test_send_to_self(self):
+        def prog(rank, size, comm, fp):
+            yield comm.send(rank, "me", tag=0)
+            got = yield comm.recv(source=rank, tag=0)
+            return got
+
+        assert run(prog, 1) == ["me"]
+
+    def test_bad_peer_rejected(self):
+        comm = Communicator(0, 2)
+        with pytest.raises(CommunicatorError):
+            comm.send(2, "x")
+        with pytest.raises(CommunicatorError):
+            comm.recv(source=5)
+
+
+class TestCollectiveOps:
+    def test_barrier(self):
+        def prog(rank, size, comm, fp):
+            yield comm.barrier()
+            return rank
+
+        assert run(prog, 4) == [0, 1, 2, 3]
+
+    def test_bcast(self):
+        def prog(rank, size, comm, fp):
+            got = yield comm.bcast("root-data" if rank == 1 else None, root=1)
+            return got
+
+        assert run(prog, 3) == ["root-data"] * 3
+
+    def test_allreduce_python_scalars(self):
+        def prog(rank, size, comm, fp):
+            total = yield comm.allreduce(rank + 1, op="sum")
+            biggest = yield comm.allreduce(rank, op="max")
+            return (total, biggest)
+
+        assert run(prog, 4) == [(10, 3)] * 4
+
+    def test_reduce_only_root(self):
+        def prog(rank, size, comm, fp):
+            got = yield comm.reduce(rank, op="sum", root=2)
+            return got
+
+        assert run(prog, 3) == [None, None, 3]
+
+    def test_gather_allgather(self):
+        def prog(rank, size, comm, fp):
+            g = yield comm.gather(rank * 10, root=0)
+            ag = yield comm.allgather(rank)
+            return (g, ag)
+
+        out = run(prog, 3)
+        assert out[0] == ([0, 10, 20], [0, 1, 2])
+        assert out[1] == (None, [0, 1, 2])
+
+    def test_scatter(self):
+        def prog(rank, size, comm, fp):
+            got = yield comm.scatter([10, 20, 30] if rank == 0 else None, root=0)
+            return got
+
+        assert run(prog, 3) == [10, 20, 30]
+
+    def test_alltoall(self):
+        def prog(rank, size, comm, fp):
+            got = yield comm.alltoall([f"{rank}->{d}" for d in range(size)])
+            return got
+
+        out = run(prog, 2)
+        assert out[0] == ["0->0", "1->0"]
+        assert out[1] == ["0->1", "1->1"]
+
+    def test_allreduce_tarrays(self):
+        def prog(rank, size, comm, fp):
+            v = fp.asarray(np.full(3, float(rank + 1)))
+            total = yield comm.allreduce(v, op="sum")
+            return total.to_numpy().tolist()
+
+        assert run(prog, 3) == [[6.0, 6.0, 6.0]] * 3
+
+    def test_single_rank_collectives(self):
+        def prog(rank, size, comm, fp):
+            t = yield comm.allreduce(5, op="sum")
+            b = yield comm.bcast("x", root=0)
+            return (t, b)
+
+        assert run(prog, 1) == [(5, "x")]
+
+
+class TestFailureModes:
+    def test_deadlock_missing_send(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.recv(source=1, tag=9)
+            else:
+                yield comm.barrier()
+            return None
+
+        with pytest.raises((DeadlockError, CommunicatorError)):
+            run(prog, 2)
+
+    def test_deadlock_partial_collective(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.barrier()
+            return None
+
+        with pytest.raises(DeadlockError):
+            run(prog, 2)
+
+    def test_mismatched_collectives(self):
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.barrier()
+            else:
+                yield comm.allreduce(1, op="sum")
+            return None
+
+        with pytest.raises(CommunicatorError):
+            run(prog, 2)
+
+    def test_mismatched_roots(self):
+        def prog(rank, size, comm, fp):
+            yield comm.bcast("x", root=rank)
+            return None
+
+        with pytest.raises(CommunicatorError):
+            run(prog, 2)
+
+    def test_mismatched_reduction_ops(self):
+        def prog(rank, size, comm, fp):
+            yield comm.allreduce(1, op="sum" if rank == 0 else "max")
+            return None
+
+        with pytest.raises(CommunicatorError):
+            run(prog, 2)
+
+    def test_send_to_finished_rank(self):
+        def prog(rank, size, comm, fp):
+            if rank == 1:
+                return None
+            yield comm.barrier() if False else None
+            # give rank 1 time to finish: scheduler runs rank 0 first, so
+            # bounce through a self-message before sending
+            yield comm.send(0, "spin", tag=0)
+            yield comm.recv(source=0, tag=0)
+            yield comm.send(1, "late", tag=1)
+            return None
+
+        with pytest.raises(CommunicatorError):
+            run(prog, 2)
+
+    def test_max_steps_hang_guard(self):
+        def prog(rank, size, comm, fp):
+            while True:
+                yield comm.send(rank, "x", tag=0)
+                yield comm.recv(source=rank, tag=0)
+
+        with pytest.raises(SimulatedHangError):
+            run(prog, 1, max_steps=100)
+
+    def test_non_request_yield(self):
+        def prog(rank, size, comm, fp):
+            yield "not a request"
+
+        with pytest.raises(CommunicatorError):
+            run(prog, 1)
+
+    def test_invalid_reduction_op(self):
+        comm = Communicator(0, 2)
+        with pytest.raises(CommunicatorError):
+            comm.allreduce(1, op="xor")
+
+    def test_alltoall_wrong_length(self):
+        comm = Communicator(0, 3)
+        with pytest.raises(CommunicatorError):
+            comm.alltoall([1, 2])
+
+    def test_scatter_wrong_length(self):
+        comm = Communicator(0, 3)
+        with pytest.raises(CommunicatorError):
+            comm.scatter([1, 2], root=0)
+
+
+class TestTaintDelivery:
+    class _Sink(NullSink):
+        def __init__(self):
+            self.marks = []
+
+        def mark_contaminated(self, rank):
+            self.marks.append(rank)
+
+    def test_diverged_payload_marks_receiver(self):
+        sink = self._Sink()
+
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                bad = TArray(np.array([1.0]), np.array([2.0]))
+                yield comm.send(1, bad, tag=0)
+                return None
+            yield comm.recv(source=0, tag=0)
+            return None
+
+        run(prog, 2, sink=sink)
+        assert sink.marks == [1]
+
+    def test_clean_payload_marks_nobody(self):
+        sink = self._Sink()
+
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                yield comm.send(1, TArray.fresh([1.0]), tag=0)
+                return None
+            yield comm.recv(source=0, tag=0)
+            return None
+
+        run(prog, 2, sink=sink)
+        assert sink.marks == []
+
+    def test_allreduce_cancellation_absorbs_taint(self):
+        """A diverged contribution that does not change the reduced value
+        (min over other lanes) must not contaminate the receivers."""
+        sink = self._Sink()
+
+        def prog(rank, size, comm, fp):
+            if rank == 0:
+                v = TArray(np.array([5.0]), np.array([7.0]))  # diverged, loses min
+            else:
+                v = TArray.fresh([1.0])
+            out = yield comm.allreduce(v, op="min")
+            return out.to_numpy()[0]
+
+        out = run(prog, 2, sink=sink)
+        assert out == [1.0, 1.0]
+        assert sink.marks == []
+
+    def test_allreduce_sum_taint_reaches_all(self):
+        sink = self._Sink()
+
+        def prog(rank, size, comm, fp):
+            v = TArray(np.array([1.0]), np.array([2.0])) if rank == 0 else TArray.fresh([1.0])
+            yield comm.allreduce(v, op="sum")
+            return None
+
+        run(prog, 3, sink=sink)
+        assert sorted(sink.marks) == [0, 1, 2]
+
+    def test_nested_payload_walk(self):
+        bad = TArray(np.array([1.0]), np.array([2.0]))
+        assert payload_diverged({"a": [TArray.fresh([1.0]), (bad,)]})
+        assert not payload_diverged({"a": [TArray.fresh([1.0])], "b": 3})
+
+
+class TestReducePayloads:
+    def test_mixed_payloads_rejected(self):
+        with pytest.raises(CommunicatorError):
+            reduce_payloads([TArray.fresh([1.0]), 2.0], "sum")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            reduce_payloads([], "sum")
+
+    def test_prod_min(self):
+        assert reduce_payloads([2, 3, 4], "prod") == 24
+        assert reduce_payloads([2.0, 3.0], "min") == 2.0
+
+    def test_tarray_faulty_path_reduced_separately(self):
+        a = TArray(np.array([1.0]), np.array([10.0]))
+        b = TArray.fresh([2.0])
+        out = reduce_payloads([a, b], "sum")
+        assert out.golden_numpy()[0] == 3.0
+        assert out.to_numpy()[0] == 12.0

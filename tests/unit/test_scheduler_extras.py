@@ -1,0 +1,90 @@
+"""Additional scheduler coverage: steps, traffic recording, errstate."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.scheduler import Scheduler
+from repro.taint.ops import FPOps
+
+
+def make_scheduler(prog, size, **kwargs):
+    def factory(rank: int, comm: Communicator):
+        return prog(rank, size, comm, FPOps(None, rank))
+
+    return Scheduler(size, factory, **kwargs)
+
+
+class TestSteps:
+    def test_steps_count_generator_resumptions(self):
+        def prog(rank, size, comm, fp):
+            yield comm.barrier()
+            yield comm.barrier()
+            return None
+
+        sched = make_scheduler(prog, 3)
+        sched.run()
+        # each rank: initial run + resume after each barrier = 3 resumes
+        assert sched.steps == 9
+
+    def test_steps_grow_with_size(self):
+        def prog(rank, size, comm, fp):
+            for i in range(4):
+                yield comm.allreduce(1, op="sum")
+            return None
+
+        small = make_scheduler(prog, 2)
+        small.run()
+        large = make_scheduler(prog, 8)
+        large.run()
+        assert large.steps > small.steps
+
+
+class TestTrafficRecording:
+    def test_disabled_by_default(self):
+        def prog(rank, size, comm, fp):
+            yield comm.send((rank + 1) % size, rank, tag=0)
+            yield comm.recv(source=(rank - 1) % size, tag=0)
+            return None
+
+        sched = make_scheduler(prog, 2)
+        sched.run()
+        assert sched.traffic is None and sched.collective_counts is None
+
+    def test_records_edges_and_collectives(self):
+        def prog(rank, size, comm, fp):
+            yield comm.send((rank + 1) % size, rank, tag=0)
+            yield comm.recv(source=(rank - 1) % size, tag=0)
+            yield comm.allreduce(1.0, op="max")
+            return None
+
+        sched = make_scheduler(prog, 3, record_traffic=True)
+        sched.run()
+        assert sched.traffic == {(0, 1): 1, (1, 2): 1, (2, 0): 1}
+        assert sched.collective_counts == {"allreduce:max": 1}
+
+    def test_barrier_label_has_no_op(self):
+        def prog(rank, size, comm, fp):
+            yield comm.barrier()
+            return None
+
+        sched = make_scheduler(prog, 2, record_traffic=True)
+        sched.run()
+        assert sched.collective_counts == {"barrier": 1}
+
+
+class TestErrstateSuppression:
+    def test_faulty_overflow_raises_no_warning(self, recwarn):
+        """Scheduler.run suppresses FP warnings for the whole execution."""
+        from repro.taint.tarray import TArray
+
+        def prog(rank, size, comm, fp):
+            bad = TArray(np.array([1.0]), np.array([1e308]))
+            out = fp.mul(bad, bad)  # golden fine, faulty overflows to inf
+            yield comm.barrier()
+            return {"v": out.to_numpy()[0]}
+
+        sched = make_scheduler(prog, 1)
+        (result,) = sched.run()
+        assert result["v"] == np.inf
+        assert not any("overflow" in str(w.message) for w in recwarn.list)

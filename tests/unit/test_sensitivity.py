@@ -1,0 +1,65 @@
+"""Tests for the bit-field / operand sensitivity analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fi.campaign import Deployment
+from repro.fi.outcomes import Outcome
+from repro.fi.sensitivity import SensitivityReport, run_sensitivity
+from repro.numerics.bits import BitField
+from repro.taint.tracer_api import Operand
+from tests.unit.test_campaign import TinyApp
+
+
+class TestReportAccounting:
+    def _report(self):
+        rep = SensitivityReport(
+            app_name="x", deployment=Deployment(nprocs=1, trials=1)
+        )
+        rep.record(bit=3, operand=Operand.A, outcome=Outcome.SUCCESS)   # mantissa
+        rep.record(bit=5, operand=Operand.A, outcome=Outcome.SDC)      # mantissa
+        rep.record(bit=55, operand=Operand.B, outcome=Outcome.SDC)     # exponent
+        rep.record(bit=63, operand=Operand.OUT, outcome=Outcome.FAILURE)  # sign
+        return rep
+
+    def test_success_rate_by_bit_field(self):
+        rates = self._report().success_rate_by_bit_field()
+        assert rates[BitField.MANTISSA] == pytest.approx(0.5)
+        assert rates[BitField.EXPONENT] == 0.0
+        assert rates[BitField.SIGN] == 0.0
+
+    def test_failure_rate_by_bit_field(self):
+        rates = self._report().failure_rate_by_bit_field()
+        assert rates[BitField.SIGN] == 1.0
+        assert rates[BitField.MANTISSA] == 0.0
+
+    def test_success_rate_by_operand(self):
+        rates = self._report().success_rate_by_operand()
+        assert rates[Operand.A] == pytest.approx(0.5)
+        assert rates[Operand.B] == 0.0
+
+    def test_per_bit_counts(self):
+        rep = self._report()
+        assert rep.by_bit[3] == {Outcome.SUCCESS: 1}
+        assert rep.by_bit[55] == {Outcome.SDC: 1}
+
+
+class TestRunSensitivity:
+    def test_end_to_end(self):
+        rep = run_sensitivity(TinyApp(), Deployment(nprocs=2, trials=120, seed=1))
+        total = sum(rep.by_bit_field.values())
+        assert total == 120
+        rates = rep.success_rate_by_bit_field()
+        # low mantissa bits rarely move the checksum past tolerance
+        assert rates[BitField.MANTISSA] > rates.get(BitField.EXPONENT, 0.0)
+
+    def test_multi_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sensitivity(
+                TinyApp(), Deployment(nprocs=1, trials=5, n_errors=2)
+            )
+
+    def test_deterministic(self):
+        a = run_sensitivity(TinyApp(), Deployment(nprocs=1, trials=40, seed=3))
+        b = run_sensitivity(TinyApp(), Deployment(nprocs=1, trials=40, seed=3))
+        assert a.by_bit_field == b.by_bit_field

@@ -1,0 +1,80 @@
+"""Extra TArray coverage: divergence bookkeeping through data movement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taint.tarray import TArray
+
+
+def diverged_pair(n=6, lane=2, delta=1.0):
+    g = np.arange(float(n))
+    f = g.copy()
+    f[lane] += delta
+    return TArray(g, f)
+
+
+class TestDivergenceThroughMovement:
+    def test_reshape_preserves_divergence(self):
+        t = diverged_pair()
+        assert t.reshape(2, 3).diverged
+        assert t.reshape(2, 3).ravel().diverged
+
+    def test_transpose_preserves_divergence(self):
+        t = diverged_pair(6).reshape(2, 3)
+        assert t.transpose(1, 0).diverged
+
+    def test_concatenate_collapse_when_dirty_lane_excluded(self):
+        t = diverged_pair(6, lane=5)
+        clean_part = t[:5]
+        assert not clean_part.diverged
+        combined = TArray.concatenate([clean_part, TArray.fresh([9.0])])
+        assert not combined.diverged
+
+    def test_stack_divergence(self):
+        t = diverged_pair()
+        assert TArray.stack([t, TArray.fresh(np.zeros(6))]).diverged
+
+    def test_scatter_with_clean_values_shares(self):
+        vals = TArray.fresh([1.0, 2.0])
+        out = TArray.scatter(vals, np.array([0, 2]), 4)
+        assert not out.diverged
+        assert out.faulty is out.golden
+
+    def test_getitem_scalar_lane(self):
+        t = diverged_pair(4, lane=1)
+        assert t[1:2].diverged
+        assert not t[0:1].diverged
+
+    @given(
+        n=st.integers(2, 16),
+        lane_frac=st.floats(0, 0.999),
+        split_frac=st.floats(0.001, 0.999),
+    )
+    @settings(max_examples=40)
+    def test_split_concat_roundtrip_tracks_dirty_lane(self, n, lane_frac, split_frac):
+        lane = int(lane_frac * n)
+        split = max(1, min(n - 1, int(split_frac * n)))
+        t = diverged_pair(n, lane=lane)
+        left, right = t[:split], t[split:]
+        assert left.diverged == (lane < split)
+        assert right.diverged == (lane >= split)
+        rebuilt = TArray.concatenate([left, right])
+        assert rebuilt.diverged
+        np.testing.assert_array_equal(rebuilt.to_numpy(), t.to_numpy())
+        np.testing.assert_array_equal(rebuilt.golden_numpy(), t.golden_numpy())
+
+
+class TestCollapseSemantics:
+    def test_constructor_collapses_equal_views(self):
+        g = np.arange(4.0)
+        t = TArray(g, np.arange(4.0))
+        assert t.faulty is t.golden
+
+    def test_infinite_values_still_compare(self):
+        g = np.array([np.inf])
+        assert not TArray(g, np.array([np.inf])).diverged
+        assert TArray(g, np.array([-np.inf])).diverged
+
+    def test_nan_vs_number_diverges(self):
+        assert TArray(np.array([1.0]), np.array([np.nan])).diverged

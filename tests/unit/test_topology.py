@@ -1,0 +1,86 @@
+"""Tests for the communication-topology analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.topology import analyze_topology
+from repro.apps import get_app
+
+
+class TestTopologyExtraction:
+    def test_pennant_is_a_chain(self):
+        topo = analyze_topology(get_app("pennant"), 8)
+        # chain: interior ranks talk to exactly 2 peers, ends to 1
+        degrees = [topo.degree(r) for r in range(8)]
+        assert degrees[0] == 1 and degrees[-1] == 1
+        assert all(d == 2 for d in degrees[1:-1])
+        assert topo.p2p_diameter() == 7
+
+    def test_cg_exchange_has_log_diameter(self):
+        topo = analyze_topology(get_app("cg"), 8)
+        # recursive halving partners: diameter well below a chain's
+        assert topo.p2p_diameter() <= math.log2(8) + 1
+        assert topo.collective_counts.get("allreduce:sum", 0) > 0
+        assert topo.is_collective_dominated()
+
+    def test_mg_torus_neighbours(self):
+        topo = analyze_topology(get_app("mg"), 8)
+        # 3-D torus (2,2,2): each rank talks to 3 distinct neighbours
+        # (opposite directions coincide at extent 2), plus coarse levels
+        assert all(topo.degree(r) >= 3 for r in range(8))
+        assert topo.p2p_messages > 0
+        # halo traffic dwarfs the per-cycle norm reductions
+        assert not topo.is_collective_dominated()
+
+    def test_pennant_not_collective_dominated(self):
+        """PENNANT's per-step reductions are MIN (absorbing), so its
+        carrying-collective share is tiny — predicting gradual creep."""
+        topo = analyze_topology(get_app("pennant"), 8)
+        assert topo.collective_counts.get("allreduce:min", 0) > 0
+        assert not topo.is_collective_dominated()
+
+    def test_serial_has_no_communication(self):
+        topo = analyze_topology(get_app("lu"), 1)
+        assert topo.p2p_messages == 0
+        assert topo.p2p_diameter() == 0.0
+
+    def test_spread_rounds_chain(self):
+        topo = analyze_topology(get_app("pennant"), 4)
+        rounds = topo.spread_rounds(0)
+        assert rounds == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_collectives_only_app_disconnected_p2p(self):
+        class AllreduceOnly:
+            name = "ar"
+
+            def program(self, rank, size, comm, fp):
+                total = yield comm.allreduce(float(rank), op="sum")
+                return {"t": total} if rank == 0 else None
+
+            def verify(self, output, reference):
+                return True
+
+            def cache_key(self):
+                return "ar"
+
+        topo = analyze_topology(AllreduceOnly(), 4)
+        assert topo.p2p_messages == 0
+        assert topo.p2p_diameter() == float("inf")
+        assert topo.global_collectives == 1
+        assert topo.is_collective_dominated()
+
+
+class TestStructuralPredictions:
+    """The topology metrics explain the measured propagation shapes."""
+
+    def test_collective_dominated_apps_show_one_or_all(self):
+        from repro.fi import Deployment, run_campaign
+
+        app = get_app("lu")
+        topo = analyze_topology(app, 8)
+        assert topo.is_collective_dominated()
+        res = run_campaign(app, Deployment(nprocs=8, trials=50, seed=11))
+        counts = res.propagation_counts()
+        edge = counts.get(1, 0) + counts.get(8, 0)
+        assert edge / sum(counts.values()) > 0.7

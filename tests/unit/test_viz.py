@@ -1,0 +1,113 @@
+"""Tests for the SVG chart renderer (structure verified via ElementTree)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, bar_chart, grouped_bar_chart, line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas: SvgCanvas) -> ET.Element:
+    return ET.fromstring(canvas.render())
+
+
+class TestCanvas:
+    def test_valid_xml_and_size(self):
+        c = SvgCanvas(200, 100)
+        c.rect(0, 0, 10, 10, fill="#f00")
+        c.text(5, 5, "hi & <bye>")
+        root = parse(c)
+        assert root.get("width") == "200"
+        texts = root.findall(f"{SVG_NS}text")
+        assert texts[0].text == "hi & <bye>"  # escaped on the way in
+
+    def test_save(self, tmp_path):
+        c = SvgCanvas(50, 50)
+        c.line(0, 0, 50, 50)
+        out = tmp_path / "x.svg"
+        c.save(out)
+        assert out.read_text().startswith("<svg")
+
+
+class TestBarChart:
+    def test_bar_count_matches_values(self):
+        c = bar_chart(["a", "b", "c"], [0.2, 0.5, 0.9], title="T")
+        root = parse(c)
+        # background + bars (+ no legend)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 1 + 3
+
+    def test_none_values_skipped(self):
+        c = grouped_bar_chart(
+            ["a", "b"], {"s1": [0.5, None], "s2": [0.1, 0.2]}, title="T"
+        )
+        root = parse(c)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 3 bars + 2 legend swatches
+        assert len(rects) == 1 + 3 + 2
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]}, title="T")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {}, title="T")
+
+    def test_title_rendered(self):
+        root = parse(bar_chart(["x"], [0.4], title="My Chart"))
+        labels = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "My Chart" in labels
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        c = line_chart([1, 2, 4], {"a": [0.1, 0.2, 0.3], "b": [0.3, 0.2, 0.1]},
+                       title="L")
+        root = parse(c)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+        assert len(root.findall(f"{SVG_NS}circle")) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {}, title="L")
+
+
+class TestFigureBuilders:
+    def test_render_all_from_synthetic_results(self, tmp_path):
+        from repro.model.result import FaultInjectionResult
+        from repro.viz.figures import render_all_figures
+
+        fi = lambda s: FaultInjectionResult.from_rates(s, 1 - s, 0.0)  # noqa: E731
+        results = {
+            "table1": {"fractions": {"cg": 0.03, "ft": 0.16, "mg": 0.0}},
+            "figure12": {
+                "cg": {
+                    "small": [0.7, 0, 0, 0, 0, 0, 0, 0.3],
+                    "large": [0.6] + [0.0] * 62 + [0.4],
+                    "grouped": [0.6, 0, 0, 0, 0, 0, 0, 0.4],
+                    "cosine": 0.99,
+                }
+            },
+            "figure3": {
+                "cg": {"serial": [0.8] * 8, "parallel": [0.7, None] + [None] * 5 + [0.6]}
+            },
+            "figure5": {"cg": {"predicted": fi(0.7), "measured": fi(0.75),
+                               "error": 0.05, "fine_tuned": True}},
+            "figure6": {"cg": {"predicted": fi(0.72), "measured": fi(0.75),
+                               "error": 0.03, "fine_tuned": True}},
+            "figure7": {"serial+4procs": {"cg": {"predicted": fi(0.7),
+                                                 "measured": fi(0.73),
+                                                 "error": 0.03}}},
+            "figure8": {4: {"rmse": 0.1, "normalized_time": 4.0},
+                        8: {"rmse": 0.08, "normalized_time": 9.0}},
+        }
+        written = render_all_figures(results, tmp_path)
+        names = {p.name for p in written}
+        assert {"table1.svg", "figure1a_cg.svg", "figure1b_cg.svg",
+                "figure1c_cg.svg", "figure3_cg.svg", "figure5.svg",
+                "figure6.svg", "figure7.svg", "figure8.svg"} <= names
+        for p in written:
+            ET.fromstring(p.read_text())  # every file is valid XML
