@@ -3,7 +3,7 @@
 PYTHON ?= python
 TRIALS ?= 300
 
-.PHONY: install test bench experiments report clean-cache loc
+.PHONY: install test bench experiments report obs-demo clean-cache loc
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,15 @@ experiments:
 
 report:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m repro.experiments report
+
+# Smoke test for the observability layer: run a tiny uncached campaign
+# with a JSONL trace + live progress, then render the trace.
+obs-demo:
+	REPRO_CACHE=0 REPRO_TRIALS=20 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m repro.experiments motivation \
+		--trace-out results/obs-demo.jsonl --progress --metrics-summary
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m repro.experiments obs-report results/obs-demo.jsonl
 
 clean-cache:
 	rm -rf .repro-cache results

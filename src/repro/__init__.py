@@ -66,6 +66,7 @@ from repro.model import (
     rmse,
 )
 from repro.mpisim import Communicator, Scheduler, execute_spmd
+from repro import obs
 from repro.taint import FPOps, Region, TArray
 
 __version__ = "1.0.0"
@@ -88,4 +89,6 @@ __all__ = [
     "result_given_contaminated", "rmse",
     # substrate
     "Communicator", "Scheduler", "execute_spmd", "FPOps", "Region", "TArray",
+    # observability
+    "obs",
 ]

@@ -1,4 +1,14 @@
-"""Command-line entry point: ``python -m repro.experiments <name>``."""
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Besides the experiment harnesses, the CLI wires the observability layer
+(:mod:`repro.obs`) into every run:
+
+* ``--trace-out PATH`` writes a JSONL event trace of the run;
+* ``--progress`` paints a throttled live progress line on stderr;
+* ``--metrics-summary`` prints counters/histograms/span totals at exit;
+* ``obs-report PATH`` renders a previously written trace into per-phase
+  time/throughput and outcome tables.
+"""
 
 from __future__ import annotations
 
@@ -12,11 +22,34 @@ from repro.experiments import EXPERIMENTS
 __all__ = ["main"]
 
 
+def _obs_report(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs-report",
+        description="Render a JSONL observability trace into summary tables.",
+    )
+    parser.add_argument("path", help="trace file written with --trace-out")
+    args = parser.parse_args(argv)
+    from repro.obs import render_trace_report
+
+    try:
+        print(render_trace_report(args.path))
+    except FileNotFoundError:
+        print(f"obs-report: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments`` / ``repro-experiments``."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["obs-report"]:
+        return _obs_report(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
+        epilog="See also the 'obs-report PATH' subcommand, which renders "
+               "a trace written with --trace-out.",
     )
     parser.add_argument(
         "experiment",
@@ -29,14 +62,46 @@ def main(argv: list[str] | None = None) -> int:
              "the paper uses 4000)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a JSONL observability trace (replay with obs-report)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live per-trial progress line on stderr",
+    )
+    parser.add_argument(
+        "--metrics-summary", action="store_true",
+        help="print counters, histograms and span totals after the run",
+    )
     args = parser.parse_args(argv)
 
+    recorder = previous = None
+    if args.trace_out or args.progress or args.metrics_summary:
+        from repro import obs
+
+        previous = obs.get_recorder()
+        recorder = obs.configure(
+            trace_path=args.trace_out,
+            progress=args.progress,
+            metrics=True,
+        )
+
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
-    for name in names:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        t0 = time.perf_counter()
-        module.run(trials=args.trials, seed=args.seed)
-        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    try:
+        for name in names:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            t0 = time.perf_counter()
+            module.run(trials=args.trials, seed=args.seed)
+            print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    finally:
+        if recorder is not None:
+            from repro.obs import render_metrics_summary, set_recorder
+
+            set_recorder(previous)
+            recorder.close()
+            if args.metrics_summary:
+                print(render_metrics_summary(recorder))
     return 0
 
 

@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.fi.campaign import AppProtocol, CampaignResult, Deployment, run_campaign
 from repro.fi.outcomes import Outcome
+from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
 
 __all__ = ["cached_campaign", "cache_dir", "cache_enabled"]
 
@@ -87,20 +88,50 @@ def _deserialize(blob: dict, deployment: Deployment) -> CampaignResult:
 
 
 def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
-    """Run (or load) a campaign; results persist across processes."""
+    """Run (or load) a campaign; results persist across processes.
+
+    A cache file that no longer parses as JSON (truncated by a killed
+    process, disk corruption) is deleted immediately and the campaign
+    recomputed; a :class:`~repro.obs.CacheCorrupt` event records the
+    incident.  Hits, misses and writes are counted with byte sizes when
+    observability is enabled.
+    """
     if not cache_enabled():
         return run_campaign(app, deployment)
+    obs = get_recorder()
     path = _cache_path(app, deployment)
     if path.exists():
+        text = path.read_text()
         try:
-            blob = json.loads(path.read_text())
-            if blob.get("version") == _CACHE_VERSION:
-                return _deserialize(blob, deployment)
-        except (json.JSONDecodeError, KeyError, ValueError):
-            pass  # stale/corrupt entry: recompute below
+            blob = json.loads(text)
+        except json.JSONDecodeError as exc:
+            # delete-and-recompute: never leave a known-bad file behind
+            path.unlink(missing_ok=True)
+            if obs.enabled:
+                obs.counter("cache.corrupt")
+                obs.emit(CacheCorrupt(path=str(path), reason=str(exc)))
+        else:
+            try:
+                if blob.get("version") == _CACHE_VERSION:
+                    result = _deserialize(blob, deployment)
+                    if obs.enabled:
+                        obs.counter("cache.hits")
+                        obs.counter("cache.hit_bytes", len(text))
+                        obs.emit(CacheHit(path=str(path), size_bytes=len(text)))
+                    return result
+            except (KeyError, ValueError, TypeError):
+                pass  # stale schema: recompute below (overwrites entry)
+    if obs.enabled:
+        obs.counter("cache.misses")
+        obs.emit(CacheMiss(path=str(path)))
     result = run_campaign(app, deployment)
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(_serialize(result))
     tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(_serialize(result)))
+    tmp.write_text(payload)
     tmp.replace(path)
+    if obs.enabled:
+        obs.counter("cache.writes")
+        obs.counter("cache.write_bytes", len(payload))
+        obs.emit(CacheWrite(path=str(path), size_bytes=len(payload)))
     return result

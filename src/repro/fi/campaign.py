@@ -26,6 +26,13 @@ from repro.fi.plan import sample_plan
 from repro.fi.profile import InstructionProfile
 from repro.fi.tracer import Tracer, TracerMode
 from repro.mpisim.runner import execute_spmd
+from repro.obs import (
+    CampaignFinished,
+    CampaignStarted,
+    FaultInjected,
+    TrialFinished,
+    get_recorder,
+)
 from repro.taint.region import Region
 from repro.utils.rng import trial_seed
 from repro.utils.validation import check_positive_int
@@ -172,57 +179,81 @@ def run_campaign(
     (deadlocks) and communicator breakdown caused by fault-perturbed
     control flow are classified as ``FAILURE``.
     """
-    t0 = time.perf_counter()
-    profile_tracer = Tracer(TracerMode.PROFILE)
-    outputs = execute_spmd(
-        app.program, deployment.nprocs, sink=profile_tracer,
-        max_steps=deployment.max_steps,
-    )
-    reference = outputs[0]
-    if reference is None:
-        raise ConfigurationError(f"app {app.name!r} returned no output at rank 0")
-    profile: InstructionProfile = profile_tracer.profile
-    profile_time = time.perf_counter() - t0
-
-    joint: dict[tuple[Outcome, int, bool], int] = {}
-    records: list[TrialRecord] = []
-    t1 = time.perf_counter()
-    for trial in range(deployment.trials):
-        rng = trial_seed(deployment.seed, trial)
-        plan = sample_plan(
-            profile,
-            rng,
-            n_errors=deployment.n_errors,
-            target_rank=deployment.effective_target_rank,
-            region=deployment.region,
-            bits_per_error=deployment.bits_per_error,
-        )
-        tracer = Tracer(TracerMode.INJECT, plan)
-        detail = ""
-        try:
-            outs = execute_spmd(
-                app.program, deployment.nprocs, sink=tracer,
+    obs = get_recorder()
+    obs.emit(CampaignStarted(
+        app=app.name, nprocs=deployment.nprocs, trials=deployment.trials,
+        n_errors=deployment.n_errors, seed=deployment.seed,
+    ))
+    with obs.span("campaign"):
+        t0 = time.perf_counter()
+        with obs.span("profile"):
+            profile_tracer = Tracer(TracerMode.PROFILE)
+            outputs = execute_spmd(
+                app.program, deployment.nprocs, sink=profile_tracer,
                 max_steps=deployment.max_steps,
             )
-        except FaultActivatedError as exc:
-            outcome, detail = Outcome.FAILURE, f"crash: {exc}"
-        except (DeadlockError, CommunicatorError) as exc:
-            outcome, detail = Outcome.FAILURE, f"hang: {exc}"
-        else:
-            outcome = classify_outcome(outs[0], reference, app.verify)
-        record = TrialRecord(
-            outcome=outcome,
-            n_contaminated=tracer.contaminated_count(),
-            activated=tracer.all_flips_activated,
-            detail=detail,
-        )
-        key = (record.outcome, record.n_contaminated, record.activated)
-        joint[key] = joint.get(key, 0) + 1
-        if keep_records:
-            records.append(record)
-    injection_time = time.perf_counter() - t1
+        reference = outputs[0]
+        if reference is None:
+            raise ConfigurationError(f"app {app.name!r} returned no output at rank 0")
+        profile: InstructionProfile = profile_tracer.profile
+        profile_time = time.perf_counter() - t0
 
-    return CampaignResult(
+        joint: dict[tuple[Outcome, int, bool], int] = {}
+        records: list[TrialRecord] = []
+        t1 = time.perf_counter()
+        for trial in range(deployment.trials):
+            trial_t0 = time.perf_counter()
+            with obs.span("trial"):
+                rng = trial_seed(deployment.seed, trial)
+                plan = sample_plan(
+                    profile,
+                    rng,
+                    n_errors=deployment.n_errors,
+                    target_rank=deployment.effective_target_rank,
+                    region=deployment.region,
+                    bits_per_error=deployment.bits_per_error,
+                )
+                tracer = Tracer(TracerMode.INJECT, plan)
+                detail = ""
+                try:
+                    with obs.span("inject"):
+                        outs = execute_spmd(
+                            app.program, deployment.nprocs, sink=tracer,
+                            max_steps=deployment.max_steps,
+                        )
+                except FaultActivatedError as exc:
+                    outcome, detail = Outcome.FAILURE, f"crash: {exc}"
+                except (DeadlockError, CommunicatorError) as exc:
+                    outcome, detail = Outcome.FAILURE, f"hang: {exc}"
+                else:
+                    outcome = classify_outcome(outs[0], reference, app.verify)
+            record = TrialRecord(
+                outcome=outcome,
+                n_contaminated=tracer.contaminated_count(),
+                activated=tracer.all_flips_activated,
+                detail=detail,
+            )
+            key = (record.outcome, record.n_contaminated, record.activated)
+            joint[key] = joint.get(key, 0) + 1
+            if keep_records:
+                records.append(record)
+            if obs.enabled:
+                obs.counter(f"campaign.trials.{outcome.value}")
+                obs.observe("taint.contamination_spread", record.n_contaminated)
+                for flip in tracer.activated_flips:
+                    obs.emit(FaultInjected(
+                        trial=trial, rank=flip.rank, region=flip.region.value,
+                        index=flip.index, bit=flip.bit,
+                    ))
+                obs.emit(TrialFinished(
+                    trial=trial, outcome=outcome.value,
+                    n_contaminated=record.n_contaminated,
+                    activated=record.activated,
+                    duration_s=time.perf_counter() - trial_t0,
+                ))
+        injection_time = time.perf_counter() - t1
+
+    result = CampaignResult(
         app_name=app.name,
         deployment=deployment,
         joint=joint,
@@ -233,3 +264,10 @@ def run_campaign(
         injection_time=injection_time,
         records=records,
     )
+    obs.emit(CampaignFinished(
+        app=app.name, trials=result.n_trials,
+        success_rate=result.success_rate, sdc_rate=result.sdc_rate,
+        failure_rate=result.failure_rate,
+        profile_time=profile_time, injection_time=injection_time,
+    ))
+    return result

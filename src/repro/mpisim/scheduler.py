@@ -33,6 +33,7 @@ from repro.mpisim.requests import (
     SendRecvRequest,
     SendRequest,
 )
+from repro.obs import SchedulerDeadlock, get_recorder
 from repro.taint.tracer_api import NullSink, TraceSink
 
 __all__ = ["Scheduler"]
@@ -89,6 +90,9 @@ class Scheduler:
         ]
         self._ready: deque[tuple[int, Any]] = deque((r, None) for r in range(size))
         self._collective_posts: dict[int, CollectiveRequest] = {}
+        # observability: resolved once per execution; disabled recorder
+        # keeps every instrumentation site to a single attribute test.
+        self._obs = get_recorder()
 
     # ------------------------------------------------------------------
     # public API
@@ -116,9 +120,19 @@ class Scheduler:
             while self._ready:
                 rank, resume = self._ready.popleft()
                 self._advance(rank, resume)
+            if self._obs.enabled:
+                # gauge: ranks parked on communication each time the
+                # ready queue drains (once per collective/quiescence).
+                self._obs.observe(
+                    "scheduler.blocked_ranks",
+                    sum(1 for s in self._states if not s.done),
+                )
             if self._try_complete_collective():
                 continue
             if all(s.done for s in self._states):
+                if self._obs.enabled:
+                    self._obs.counter("scheduler.steps", self._steps)
+                    self._obs.counter("scheduler.runs")
                 return [s.result for s in self._states]
             self._raise_deadlock()
 
@@ -285,10 +299,12 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _raise_deadlock(self) -> None:
+        ranks = []
         waiting = []
         for rank, state in enumerate(self._states):
             if state.done:
                 continue
+            ranks.append(rank)
             blocked = state.blocked_on
             if isinstance(blocked, RecvRequest):
                 waiting.append(f"rank {rank} waiting on recv(source={blocked.source}, tag={blocked.tag})")
@@ -296,4 +312,9 @@ class Scheduler:
                 waiting.append(f"rank {rank} waiting in {blocked.kind.value}")
             else:  # pragma: no cover - defensive
                 waiting.append(f"rank {rank} blocked on {blocked!r}")
+        if self._obs.enabled:
+            self._obs.counter("scheduler.deadlocks")
+            self._obs.emit(SchedulerDeadlock(
+                blocked_ranks=ranks, pending_ops=waiting, steps=self._steps,
+            ))
         raise DeadlockError("no runnable rank: " + "; ".join(waiting))

@@ -1,0 +1,82 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and progress.
+
+The observability layer that turns the fault injector into a research
+instrument (cf. FINJ, Netti et al. 2018): a process-wide
+:class:`Recorder` holds counters, histograms and nested timing spans,
+and fans typed structured events out to pluggable sinks — a JSONL file
+trace, an in-memory list for tests, and a throttled stderr progress
+line.  Everything is a no-op by default so instrumented hot paths
+(per-op accounting in :mod:`repro.taint.ops`, the scheduler loop) stay
+fast; enabling costs one :func:`configure` call.
+
+Typical use::
+
+    from repro import obs
+
+    recorder = obs.configure(trace_path="run.jsonl", progress=True)
+    try:
+        run_campaign(app, deployment)
+    finally:
+        recorder.close()
+
+or, via the CLI: ``python -m repro.experiments table1 --trace-out
+run.jsonl --progress`` then ``python -m repro.experiments obs-report
+run.jsonl``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.events import (
+    CacheCorrupt,
+    CacheHit,
+    CacheMiss,
+    CacheWrite,
+    CampaignFinished,
+    CampaignStarted,
+    Event,
+    FaultInjected,
+    SchedulerDeadlock,
+    SpanEnd,
+    TrialFinished,
+    event_from_dict,
+)
+from repro.obs.recorder import Recorder, get_recorder, recording, set_recorder
+from repro.obs.report import render_metrics_summary, render_trace_report
+from repro.obs.sinks import JsonlSink, MemorySink, ProgressSink, Sink, load_trace
+
+__all__ = [
+    # recorder
+    "Recorder", "get_recorder", "set_recorder", "recording", "configure",
+    # sinks
+    "Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace",
+    # events
+    "Event", "CampaignStarted", "CampaignFinished", "TrialFinished",
+    "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
+    "SchedulerDeadlock", "SpanEnd", "event_from_dict",
+    # reports
+    "render_trace_report", "render_metrics_summary",
+]
+
+
+def configure(
+    trace_path: str | Path | None = None,
+    progress: bool = False,
+    metrics: bool = False,
+) -> Recorder:
+    """Build and globally install a recorder for this process.
+
+    ``trace_path`` attaches a :class:`JsonlSink`, ``progress`` a stderr
+    :class:`ProgressSink`; ``metrics`` enables counter/histogram/span
+    collection even with no sink attached (for ``--metrics-summary``).
+    Returns the installed recorder — call ``close()`` on it when done.
+    """
+    sinks: list[Sink] = []
+    if trace_path is not None:
+        sinks.append(JsonlSink(trace_path))
+    if progress:
+        sinks.append(ProgressSink())
+    recorder = Recorder(sinks, enabled=bool(sinks) or metrics)
+    set_recorder(recorder)
+    return recorder

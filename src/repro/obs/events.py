@@ -1,0 +1,184 @@
+"""Typed structured events emitted by the instrumented layers.
+
+Every event is a frozen dataclass with a stable ``type`` tag; sinks
+serialize events as flat dicts (``{"type": ..., **fields}``), and
+:func:`load_trace` reconstructs the typed objects from a JSONL trace so
+analyses can replay a run.  Events carry only plain JSON-serializable
+payloads (strings, numbers, bools, lists thereof) by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Iterable
+
+__all__ = [
+    "Event",
+    "CampaignStarted",
+    "CampaignFinished",
+    "TrialFinished",
+    "FaultInjected",
+    "CacheHit",
+    "CacheMiss",
+    "CacheWrite",
+    "CacheCorrupt",
+    "SchedulerDeadlock",
+    "SpanEnd",
+    "EVENT_TYPES",
+    "event_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: subclasses set ``type`` and declare payload fields."""
+
+    type: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready representation (``type`` tag + payload)."""
+        return {"type": self.type, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class CampaignStarted(Event):
+    """A fault-injection deployment began executing trials."""
+
+    type: ClassVar[str] = "campaign_started"
+
+    app: str
+    nprocs: int
+    trials: int
+    n_errors: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class CampaignFinished(Event):
+    """A deployment completed; rates mirror :class:`CampaignResult`."""
+
+    type: ClassVar[str] = "campaign_finished"
+
+    app: str
+    trials: int
+    success_rate: float
+    sdc_rate: float
+    failure_rate: float
+    profile_time: float
+    injection_time: float
+
+
+@dataclass(frozen=True)
+class TrialFinished(Event):
+    """One fault-injection test finished (any outcome)."""
+
+    type: ClassVar[str] = "trial_finished"
+
+    trial: int
+    outcome: str          # Outcome.value: "success" | "sdc" | "failure"
+    n_contaminated: int
+    activated: bool
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """A planned bit flip actually fired during a trial."""
+
+    type: ClassVar[str] = "fault_injected"
+
+    trial: int
+    rank: int
+    region: str           # Region.value
+    index: int            # global candidate-stream index
+    bit: int
+
+
+@dataclass(frozen=True)
+class CacheHit(Event):
+    """A campaign was served from the disk cache."""
+
+    type: ClassVar[str] = "cache_hit"
+
+    path: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class CacheMiss(Event):
+    """No usable cache entry; the campaign will be recomputed."""
+
+    type: ClassVar[str] = "cache_miss"
+
+    path: str
+
+
+@dataclass(frozen=True)
+class CacheWrite(Event):
+    """A freshly computed campaign result was persisted."""
+
+    type: ClassVar[str] = "cache_write"
+
+    path: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class CacheCorrupt(Event):
+    """A cache file failed to parse and was deleted for recompute."""
+
+    type: ClassVar[str] = "cache_corrupt"
+
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class SchedulerDeadlock(Event):
+    """Every unfinished rank is blocked on unmatchable communication."""
+
+    type: ClassVar[str] = "scheduler_deadlock"
+
+    blocked_ranks: list[int]
+    pending_ops: list[str]    # one human-readable entry per blocked rank
+    steps: int
+
+
+@dataclass(frozen=True)
+class SpanEnd(Event):
+    """A timing span closed; ``path`` is the slash-joined nesting."""
+
+    type: ClassVar[str] = "span_end"
+
+    path: str
+    duration_s: float
+
+
+#: type tag -> event class, for trace replay.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.type: cls
+    for cls in (
+        CampaignStarted, CampaignFinished, TrialFinished, FaultInjected,
+        CacheHit, CacheMiss, CacheWrite, CacheCorrupt,
+        SchedulerDeadlock, SpanEnd,
+    )
+}
+
+
+def event_from_dict(blob: dict[str, Any]) -> Event | None:
+    """Rebuild a typed event from its serialized dict.
+
+    Returns None for unknown types (forward compatibility: readers skip
+    events written by newer code).  Extra keys — e.g. the ``ts``
+    timestamp sinks add — are ignored.
+    """
+    cls = EVENT_TYPES.get(blob.get("type", ""))
+    if cls is None:
+        return None
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in blob.items() if k in names})
+
+
+def events_of(events: Iterable[Event], cls: type[Event]) -> list[Event]:
+    """Filter a replayed trace down to one event class."""
+    return [e for e in events if isinstance(e, cls)]

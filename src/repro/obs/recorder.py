@@ -1,0 +1,154 @@
+"""The process-wide recorder: counters, histograms, spans, event fan-out.
+
+One :class:`Recorder` instance is installed per process (see
+:func:`get_recorder` / :func:`set_recorder`).  The default instance is
+**disabled**: every instrumentation site either checks
+:attr:`Recorder.enabled` or goes through methods that return
+immediately, so the fault-injection hot path (per-vectorized-op
+accounting in :mod:`repro.taint.ops`) pays one attribute test and
+nothing else.
+
+Metrics model
+-------------
+* **counters** — monotonically increasing totals (``fp.add.rank0``,
+  ``cache.hit``), integer or float;
+* **histograms** — lists of observed samples
+  (``taint.contamination_spread``, ``scheduler.blocked_ranks``);
+* **spans** — nested wall-clock phases.  ``span("campaign")`` /
+  ``span("trial")`` / ``span("inject")`` nest into slash-joined paths
+  (``campaign/trial/inject``); each close accumulates (count, total
+  seconds) per path and emits a :class:`~repro.obs.events.SpanEnd`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, ContextManager, Iterator, Sequence
+
+from repro.obs.events import Event, SpanEnd
+from repro.obs.sinks import Sink
+
+__all__ = ["Recorder", "get_recorder", "set_recorder", "recording"]
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled path allocates nothing per call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Counters, histograms and nested timing spans for one process."""
+
+    def __init__(
+        self,
+        sinks: Sequence[Sink] = (),
+        enabled: bool | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.sinks: list[Sink] = list(sinks)
+        #: master switch — instrumentation sites test this one attribute.
+        self.enabled: bool = bool(self.sinks) if enabled is None else enabled
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+        #: span path -> [count, total_seconds]
+        self.span_totals: dict[str, list[float]] = {}
+        self._span_stack: list[str] = []
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append ``value`` to histogram ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.histograms.setdefault(name, []).append(value)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> ContextManager:
+        """Time a phase; nesting builds slash-joined paths.
+
+        While disabled this returns a shared no-op context manager, so
+        per-trial spans in the campaign loop cost one call and no
+        allocation.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        return self._live_span(name)
+
+    @contextlib.contextmanager
+    def _live_span(self, name: str) -> Iterator["Recorder"]:
+        self._span_stack.append(name)
+        path = "/".join(self._span_stack)
+        t0 = self._clock()
+        try:
+            yield self
+        finally:
+            duration = self._clock() - t0
+            self._span_stack.pop()
+            agg = self.span_totals.setdefault(path, [0, 0.0])
+            agg[0] += 1
+            agg[1] += duration
+            self.emit(SpanEnd(path=path, duration_s=duration))
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """Fan ``event`` out to every sink (no-op while disabled)."""
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        """Close all sinks (flushes the JSONL trace, finishes progress)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The process-wide recorder; disabled until something installs sinks.
+_RECORDER = Recorder()
+
+
+def get_recorder() -> Recorder:
+    """The currently installed process-wide recorder."""
+    return _RECORDER
+
+
+def set_recorder(recorder: Recorder) -> Recorder:
+    """Install ``recorder`` globally; returns the previous one."""
+    global _RECORDER
+    previous, _RECORDER = _RECORDER, recorder
+    return previous
+
+
+@contextlib.contextmanager
+def recording(recorder: Recorder) -> Iterator[Recorder]:
+    """Temporarily install ``recorder`` (tests, scoped instrumentation)."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,103 @@
+"""Render a JSONL trace (or a live recorder) into summary tables.
+
+Backs the ``python -m repro.experiments obs-report PATH`` subcommand and
+the ``--metrics-summary`` CLI flag.  The phase table aggregates
+:class:`~repro.obs.events.SpanEnd` events per slash-joined path:
+count, total seconds, mean, and throughput (closes per second of total
+span time); the outcome table tallies
+:class:`~repro.obs.events.TrialFinished` events.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import Event, SpanEnd, TrialFinished
+from repro.obs.recorder import Recorder
+from repro.obs.sinks import load_trace
+from repro.utils.tables import format_table
+
+__all__ = ["phase_table", "outcome_counts", "render_trace_report", "render_metrics_summary"]
+
+
+def _aggregate_spans(events: Iterable[Event]) -> dict[str, list[float]]:
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        if isinstance(event, SpanEnd):
+            agg = totals.setdefault(event.path, [0, 0.0])
+            agg[0] += 1
+            agg[1] += event.duration_s
+    return totals
+
+
+def phase_table(span_totals: dict[str, Sequence[float]], title: str) -> str:
+    """Per-phase time/throughput table from ``path -> (count, seconds)``."""
+    rows = []
+    for path in sorted(span_totals):
+        count, total = span_totals[path]
+        count = int(count)
+        mean_ms = 1000.0 * total / count if count else 0.0
+        throughput = count / total if total > 0 else float("nan")
+        rows.append((path, count, round(total, 3), round(mean_ms, 3), round(throughput, 1)))
+    return format_table(
+        ["phase", "count", "total s", "mean ms", "per s"], rows, title=title
+    )
+
+
+def outcome_counts(events: Iterable[Event]) -> dict[str, int]:
+    """Per-outcome trial tallies from the trace's TrialFinished events."""
+    out: dict[str, int] = {}
+    for event in events:
+        if isinstance(event, TrialFinished):
+            out[event.outcome] = out.get(event.outcome, 0) + 1
+    return out
+
+
+def render_trace_report(path: str | Path) -> str:
+    """Full obs-report text for one JSONL trace file."""
+    events = load_trace(path)
+    sections = [
+        phase_table(_aggregate_spans(events), title=f"Phases — {path}")
+    ]
+    outcomes = outcome_counts(events)
+    if outcomes:
+        n = sum(outcomes.values())
+        rows = [
+            (name, count, round(count / n, 3))
+            for name, count in sorted(outcomes.items())
+        ]
+        sections.append(
+            format_table(
+                ["outcome", "trials", "rate"], rows,
+                title=f"Trial outcomes ({n} trials)",
+            )
+        )
+    if not events:
+        sections.append(f"(trace {path} contains no known events)")
+    return "\n\n".join(sections)
+
+
+def render_metrics_summary(recorder: Recorder) -> str:
+    """Counters + histogram stats + span totals of a live recorder."""
+    sections = []
+    if recorder.counters:
+        rows = [(k, recorder.counters[k]) for k in sorted(recorder.counters)]
+        sections.append(format_table(["counter", "value"], rows, title="Counters"))
+    if recorder.histograms:
+        rows = []
+        for name in sorted(recorder.histograms):
+            values = recorder.histograms[name]
+            rows.append(
+                (name, len(values), round(min(values), 3),
+                 round(sum(values) / len(values), 3), round(max(values), 3))
+            )
+        sections.append(
+            format_table(["histogram", "n", "min", "mean", "max"], rows,
+                         title="Histograms")
+        )
+    if recorder.span_totals:
+        sections.append(phase_table(recorder.span_totals, title="Spans"))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

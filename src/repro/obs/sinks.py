@@ -1,0 +1,161 @@
+"""Event sinks: where emitted observability events go.
+
+Three implementations cover the paper-reproduction workflow:
+
+* :class:`JsonlSink` — one JSON object per line, replayable with
+  :func:`load_trace` and renderable with ``obs-report``;
+* :class:`MemorySink` — in-process list, for tests and programmatic use;
+* :class:`ProgressSink` — throttled single-line stderr progress
+  (``trial 512/2000 · sdc=3.1% · 41 trials/s``).
+
+A sink is anything with ``write(event)`` and ``close()``; the recorder
+never interprets events itself.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Protocol, TextIO
+
+from repro.obs.events import (
+    CampaignStarted,
+    Event,
+    TrialFinished,
+    event_from_dict,
+)
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace"]
+
+
+class Sink(Protocol):
+    """Consumer of emitted events."""
+
+    def write(self, event: Event) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Collects events in a list (test/programmatic sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        return None
+
+    def of(self, cls: type[Event]) -> list[Event]:
+        """Events of one class, in emission order."""
+        return [e for e in self.events if isinstance(e, cls)]
+
+
+class JsonlSink:
+    """Appends events to ``path`` as JSON lines with a wall-clock ``ts``."""
+
+    def __init__(self, path: str | Path, clock: Callable[[], float] = time.time):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: TextIO | None = self.path.open("w")
+        self._clock = clock
+
+    def write(self, event: Event) -> None:
+        if self._fh is None:
+            raise RuntimeError(f"JsonlSink({self.path}) written after close()")
+        blob = event.to_dict()
+        blob["ts"] = self._clock()
+        self._fh.write(json.dumps(blob) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_trace(path: str | Path) -> list[Event]:
+    """Replay a JSONL trace into typed events (unknown types skipped).
+
+    Truncated final lines — a process killed mid-write — are tolerated.
+    """
+    events: list[Event] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                blob = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # partial trailing line from an interrupted run
+            event = event_from_dict(blob)
+            if event is not None:
+                events.append(event)
+    return events
+
+
+class ProgressSink:
+    """Single-line live progress on stderr, throttled to ``min_interval``.
+
+    Tracks :class:`CampaignStarted` (total trials) and
+    :class:`TrialFinished` (outcome tallies + rate); repaints at most
+    once per interval, except the final trial, which always paints so
+    the line ends accurate.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._clock = clock
+        self._total = 0
+        self._done = 0
+        self._outcomes: dict[str, int] = {}
+        self._t_start = 0.0
+        self._t_last_paint = float("-inf")
+        self.paints = 0  # repaint count (observable for throttle tests)
+
+    def write(self, event: Event) -> None:
+        if isinstance(event, CampaignStarted):
+            self._total = event.trials
+            self._done = 0
+            self._outcomes = {}
+            self._t_start = self._clock()
+            return
+        if not isinstance(event, TrialFinished):
+            return
+        self._done += 1
+        self._outcomes[event.outcome] = self._outcomes.get(event.outcome, 0) + 1
+        now = self._clock()
+        final = self._total and self._done >= self._total
+        if not final and now - self._t_last_paint < self._min_interval:
+            return
+        self._t_last_paint = now
+        self._paint(now, newline=bool(final))
+
+    def _paint(self, now: float, newline: bool) -> None:
+        self.paints += 1
+        sdc = self._outcomes.get("sdc", 0)
+        sdc_pct = 100.0 * sdc / self._done if self._done else 0.0
+        dt = now - self._t_start
+        rate = self._done / dt if dt > 0 else 0.0
+        total = self._total if self._total else "?"
+        line = (
+            f"\rtrial {self._done}/{total} · sdc={sdc_pct:.1f}% · "
+            f"{rate:.0f} trials/s"
+        )
+        self._stream.write(line + ("\n" if newline else ""))
+        self._stream.flush()
+
+    def close(self) -> None:
+        # leave a clean line if a campaign ended without its final paint
+        if self._done and (not self._total or self._done < self._total):
+            self._paint(self._clock(), newline=True)

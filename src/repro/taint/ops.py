@@ -38,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.numerics.bits import flip_bit_scalar
+from repro.obs import get_recorder
 from repro.taint.region import Region
 from repro.taint.tarray import TArray, as_tarray
 from repro.taint.tracer_api import LaneInjection, NullSink, Operand, OpKind, TraceSink
@@ -146,6 +147,34 @@ def _segmented_sums(
     return out
 
 
+class _MeteredSink:
+    """Wraps a trace sink with per-rank dynamic-instruction metering.
+
+    Installed by :class:`FPOps` only when the process-wide observability
+    recorder is enabled, so plain runs keep the original sink object and
+    pay nothing.  Accounting is the single choke point every traced
+    operation passes through, which makes it the one place to meter the
+    taint layer: dynamic FP-instruction counters per (rank, op kind) and
+    a contamination-report counter per rank.
+    """
+
+    __slots__ = ("_inner", "_rec", "_keys", "_contaminated_key")
+
+    def __init__(self, inner: TraceSink, recorder, rank: int):
+        self._inner = inner
+        self._rec = recorder
+        self._keys = {kind: f"fp.{kind.value}.rank{rank}" for kind in OpKind}
+        self._contaminated_key = f"taint.contaminated_reports.rank{rank}"
+
+    def account(self, rank, region, kind, count):
+        self._rec.counter(self._keys[kind], count)
+        return self._inner.account(rank, region, kind, count)
+
+    def mark_contaminated(self, rank):
+        self._rec.counter(self._contaminated_key)
+        return self._inner.mark_contaminated(rank)
+
+
 class FPOps:
     """Per-rank handle for traced floating-point computation.
 
@@ -161,6 +190,9 @@ class FPOps:
         self._sink: TraceSink = sink if sink is not None else NullSink()
         self.rank = int(rank)
         self._region = Region.COMMON
+        recorder = get_recorder()
+        if recorder.enabled:
+            self._sink = _MeteredSink(self._sink, recorder, self.rank)
 
     # ------------------------------------------------------------------
     # regions

@@ -19,22 +19,41 @@ class Timer:
     True
 
     Multiple ``with`` blocks accumulate into :attr:`elapsed`, which suits
-    measuring only the injection portion of a campaign loop.
+    measuring only the injection portion of a campaign loop; each block's
+    individual duration is appended to :attr:`splits` (the lap list the
+    observability span recorder reuses).
+
+    Misuse (re-entering a running timer, exiting or resetting one that
+    is not in the expected state) raises :class:`RuntimeError` — not
+    ``assert``, which would vanish under ``python -O``.
     """
 
     elapsed: float = 0.0
+    splits: list[float] = field(default_factory=list)
     _start: float | None = field(default=None, repr=False)
 
+    @property
+    def running(self) -> bool:
+        """True between ``__enter__`` and ``__exit__``."""
+        return self._start is not None
+
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer re-entered while already running")
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        assert self._start is not None, "Timer.__exit__ without __enter__"
-        self.elapsed += time.perf_counter() - self._start
+        if self._start is None:
+            raise RuntimeError("Timer.__exit__ without __enter__")
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.splits.append(lap)
         self._start = None
 
     def reset(self) -> None:
-        """Zero the accumulated time; must not be running."""
-        assert self._start is None, "cannot reset a running Timer"
+        """Zero the accumulated time and laps; must not be running."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Timer")
         self.elapsed = 0.0
+        self.splits.clear()

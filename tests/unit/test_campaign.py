@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulatedCrashError
 from repro.fi.cache import cached_campaign
 from repro.fi.campaign import CampaignResult, Deployment, run_campaign
@@ -115,6 +116,82 @@ class TestRunCampaign:
         assert 0.0 <= res.activation_rate() <= 1.0
 
 
+class TestCampaignObservability:
+    """Per-trial events must match the CampaignResult aggregates."""
+
+    def _run_traced(self, deployment, app=None):
+        mem = obs.MemorySink()
+        with obs.recording(obs.Recorder([mem])) as rec:
+            result = run_campaign(app or TinyApp(), deployment)
+        return result, mem, rec
+
+    def test_trial_events_match_joint(self):
+        res, mem, _ = self._run_traced(Deployment(nprocs=2, trials=40, seed=1))
+        trials = mem.of(obs.TrialFinished)
+        assert len(trials) == res.n_trials == 40
+        for outcome in Outcome:
+            emitted = sum(1 for e in trials if e.outcome == outcome.value)
+            assert emitted == res.outcome_count(outcome)
+        # contamination spread per trial replays the joint distribution
+        spread = sorted(e.n_contaminated for e in trials)
+        expected = sorted(
+            n for (_, n, _), c in res.joint.items() for _ in range(c)
+        )
+        assert spread == expected
+
+    def test_campaign_start_finish_events(self):
+        res, mem, _ = self._run_traced(Deployment(nprocs=2, trials=10, seed=2))
+        (started,) = mem.of(obs.CampaignStarted)
+        assert (started.app, started.nprocs, started.trials) == ("tiny", 2, 10)
+        (finished,) = mem.of(obs.CampaignFinished)
+        assert finished.success_rate == pytest.approx(res.success_rate)
+        assert finished.sdc_rate == pytest.approx(res.sdc_rate)
+
+    def test_fault_injected_events_match_activation(self):
+        res, mem, _ = self._run_traced(Deployment(nprocs=1, trials=15, seed=3))
+        injected = mem.of(obs.FaultInjected)
+        # single-error deployment: one fired flip per activated trial
+        activated_trials = sum(
+            c for (_, _, act), c in res.joint.items() if act
+        )
+        assert len(injected) == activated_trials
+        assert all(e.rank == 0 for e in injected)
+
+    def test_span_totals_nest(self):
+        _, _, rec = self._run_traced(Deployment(nprocs=1, trials=5, seed=0))
+        assert rec.span_totals["campaign"][0] == 1
+        assert rec.span_totals["campaign/profile"][0] == 1
+        assert rec.span_totals["campaign/trial"][0] == 5
+        assert rec.span_totals["campaign/trial/inject"][0] == 5
+        # children are contained in their parent's wall-clock
+        assert rec.span_totals["campaign/trial"][1] <= rec.span_totals["campaign"][1]
+
+    def test_metrics_counters(self):
+        res, _, rec = self._run_traced(Deployment(nprocs=2, trials=10, seed=4))
+        by_outcome = {
+            o: rec.counters.get(f"campaign.trials.{o.value}", 0) for o in Outcome
+        }
+        assert by_outcome == {o: res.outcome_count(o) for o in Outcome}
+        # both ranks performed candidate FP work
+        assert rec.counters["fp.add.rank0"] > 0
+        assert rec.counters["fp.add.rank1"] > 0
+        assert len(rec.histograms["taint.contamination_spread"]) == 10
+
+    def test_disabled_recorder_emits_nothing(self):
+        mem = obs.MemorySink()
+        with obs.recording(obs.Recorder([mem], enabled=False)) as rec:
+            run_campaign(TinyApp(), Deployment(nprocs=1, trials=5, seed=0))
+        assert mem.events == []
+        assert rec.counters == {}
+        assert rec.span_totals == {}
+
+    def test_instrumentation_does_not_change_results(self):
+        dep = Deployment(nprocs=2, trials=20, seed=6)
+        plain = run_campaign(TinyApp(), dep)
+        traced, _, _ = self._run_traced(dep)
+        assert traced.joint == plain.joint
+
+
 class TestCache:
     def test_roundtrip(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -143,6 +220,40 @@ class TestCache:
         res = cached_campaign(app, dep)
         assert res.n_trials == 5
         assert json.loads(path.read_text())["app_name"] == "tiny"
+
+    def test_truncated_entry_deleted_and_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        dep = Deployment(nprocs=1, trials=5, seed=0)
+        cached_campaign(app, dep)
+        (path,) = tmp_path.glob("*.json")
+        path.write_text(path.read_text()[:40])  # truncated mid-write
+        mem = obs.MemorySink()
+        with obs.recording(obs.Recorder([mem])):
+            res = cached_campaign(app, dep)
+        assert res.n_trials == 5
+        (corrupt,) = mem.of(obs.CacheCorrupt)
+        assert corrupt.path == str(path)
+        assert mem.of(obs.CacheMiss) and mem.of(obs.CacheWrite)
+        # the rewritten entry is valid again and served as a hit
+        with obs.recording(obs.Recorder([mem])):
+            cached_campaign(app, dep)
+        (hit,) = mem.of(obs.CacheHit)
+        assert hit.size_bytes == path.stat().st_size
+
+    def test_hit_and_miss_events(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        app = TinyApp()
+        dep = Deployment(nprocs=1, trials=5, seed=3)
+        mem = obs.MemorySink()
+        with obs.recording(obs.Recorder([mem])) as rec:
+            cached_campaign(app, dep)   # miss + write
+            cached_campaign(app, dep)   # hit
+        assert len(mem.of(obs.CacheMiss)) == 1
+        assert len(mem.of(obs.CacheWrite)) == 1
+        assert len(mem.of(obs.CacheHit)) == 1
+        assert rec.counters["cache.hits"] == 1
+        assert rec.counters["cache.hit_bytes"] > 0
 
     def test_distinct_deployments_distinct_entries(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

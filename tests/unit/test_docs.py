@@ -17,7 +17,8 @@ class TestDocsExist:
         assert (ROOT / name).is_file()
 
     @pytest.mark.parametrize(
-        "name", ["fault-model.md", "model.md", "substrate.md", "developer.md", "apps.md"]
+        "name", ["fault-model.md", "model.md", "substrate.md", "developer.md",
+                 "apps.md", "observability.md"]
     )
     def test_docs_pages(self, name):
         assert (ROOT / "docs" / name).stat().st_size > 500

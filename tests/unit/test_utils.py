@@ -96,6 +96,36 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0
+        assert t.splits == []
+
+    def test_splits_record_each_lap(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            time.sleep(0.01)
+        assert len(t.splits) == 2
+        assert t.splits[1] >= 0.01
+        assert sum(t.splits) == pytest.approx(t.elapsed)
+
+    def test_reenter_raises_runtime_error(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                with t:
+                    pass
+        # __exit__ of the outer ``with`` already ran; timer is stopped
+        assert not t.running
+
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().__exit__(None, None, None)
+
+    def test_reset_while_running_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                t.reset()
 
 
 class TestTables:
