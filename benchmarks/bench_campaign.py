@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the trial-parallel campaign engine.
+
+Runs one CG deployment serially and under ``jobs=2`` / ``jobs=4``,
+verifies the parallel results are bit-identical to serial, and writes
+``BENCH_campaign.json`` so the performance trajectory is tracked across
+PRs.  On a runner with >= 4 cores (and outside ``--quick`` mode) the
+benchmark *asserts* a >= 1.8x speedup at ``jobs=4``; on smaller machines
+the speedup is recorded but not enforced — worker processes cannot beat
+the clock without cores to run on.
+
+Usage::
+
+    python benchmarks/bench_campaign.py                # full: 200 trials
+    python benchmarks/bench_campaign.py --quick        # CI smoke: 40 trials
+    python benchmarks/bench_campaign.py --trials 1000 --jobs 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# allow direct execution without an installed package / PYTHONPATH
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REQUIRED_SPEEDUP = 1.8
+ASSERT_MIN_CPUS = 4
+
+
+def _time_campaign(app, deployment, jobs: int) -> tuple[float, dict]:
+    from repro.fi.campaign import run_campaign
+
+    t0 = time.perf_counter()
+    result = run_campaign(app, deployment, jobs=jobs)
+    return time.perf_counter() - t0, result.joint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=200,
+                        help="trials per campaign (default 200)")
+    parser.add_argument("--nprocs", type=int, default=4,
+                        help="simulated MPI ranks per trial (default 4)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[2, 4],
+                        help="parallel worker counts to measure (default: 2 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 40 trials, no speedup assertion")
+    parser.add_argument("--out", default="results/BENCH_campaign.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    # campaigns must actually execute: caching would time a file read
+    os.environ["REPRO_CACHE"] = "0"
+    trials = 40 if args.quick else args.trials
+
+    from repro.apps import get_app
+    from repro.fi.campaign import Deployment
+
+    app = get_app("cg")
+    deployment = Deployment(nprocs=args.nprocs, trials=trials, seed=123)
+    cpus = os.cpu_count() or 1
+    print(f"bench_campaign: app=cg nprocs={args.nprocs} trials={trials} "
+          f"cpu_count={cpus}")
+
+    serial_time, serial_joint = _time_campaign(app, deployment, jobs=1)
+    print(f"  jobs=1  {serial_time:7.2f}s  {trials / serial_time:7.1f} trials/s")
+
+    times = {1: serial_time}
+    speedups: dict[int, float] = {}
+    parity_ok = True
+    for jobs in args.jobs:
+        wall, joint = _time_campaign(app, deployment, jobs=jobs)
+        times[jobs] = wall
+        speedups[jobs] = serial_time / wall
+        if joint != serial_joint or list(joint) != list(serial_joint):
+            parity_ok = False
+        print(f"  jobs={jobs}  {wall:7.2f}s  {trials / wall:7.1f} trials/s  "
+              f"speedup {speedups[jobs]:.2f}x  parity "
+              f"{'ok' if parity_ok else 'BROKEN'}")
+
+    record = {
+        "bench": "campaign",
+        "app": "cg",
+        "nprocs": args.nprocs,
+        "trials": trials,
+        "quick": args.quick,
+        "cpu_count": cpus,
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "times_s": {str(j): round(t, 4) for j, t in times.items()},
+        "speedup": {str(j): round(s, 3) for j, s in speedups.items()},
+        "parity_ok": parity_ok,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"  wrote {out}")
+
+    if not parity_ok:
+        print("FAIL: parallel joint distribution diverged from serial",
+              file=sys.stderr)
+        return 1
+    enforce = (not args.quick) and cpus >= ASSERT_MIN_CPUS and 4 in speedups
+    if enforce and speedups[4] < REQUIRED_SPEEDUP:
+        print(f"FAIL: jobs=4 speedup {speedups[4]:.2f}x < "
+              f"{REQUIRED_SPEEDUP}x on a {cpus}-core runner", file=sys.stderr)
+        return 1
+    if not enforce and not args.quick:
+        print(f"  (speedup assertion skipped: {cpus} < {ASSERT_MIN_CPUS} cores)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

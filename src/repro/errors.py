@@ -45,6 +45,16 @@ class CheckerError(ReproError):
     """An application verification checker was configured incorrectly."""
 
 
+class WorkerCrashError(ReproError):
+    """A campaign worker process died without reporting a result.
+
+    Raised by the trial-parallel engine (:mod:`repro.fi.parallel`) when
+    a pool worker terminates abruptly — a hard crash, ``os._exit``, or
+    the OOM killer — rather than raising a normal (picklable) exception.
+    The campaign fails fast instead of hanging on the lost chunk.
+    """
+
+
 class FaultActivatedError(ReproError):
     """Base class for simulated application failures caused by a fault.
 

@@ -8,12 +8,17 @@ Besides the experiment harnesses, the CLI wires the observability layer
 * ``--metrics-summary`` prints counters/histograms/span totals at exit;
 * ``obs-report PATH`` renders a previously written trace into per-phase
   time/throughput and outcome tables.
+
+``--jobs N`` fans every campaign's trials over N worker processes
+(deterministic: results are bit-identical to serial; see
+docs/performance.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
@@ -63,6 +68,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per campaign (default: $REPRO_JOBS or 1). "
+             "Results are bit-identical for any N; see docs/performance.md",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSONL observability trace (replay with obs-report)",
     )
@@ -75,6 +85,14 @@ def main(argv: list[str] | None = None) -> int:
         help="print counters, histograms and span totals after the run",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        # Campaigns resolve their worker count from $REPRO_JOBS (see
+        # repro.fi.campaign.default_jobs), so one env write reaches every
+        # deployment the experiment harnesses build.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     recorder = previous = None
     if args.trace_out or args.progress or args.metrics_summary:

@@ -21,7 +21,10 @@ from repro.fi.campaign import AppProtocol, CampaignResult, Deployment, run_campa
 from repro.fi.outcomes import Outcome
 from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
 
-__all__ = ["cached_campaign", "cache_dir", "cache_enabled"]
+__all__ = [
+    "cached_campaign", "cache_dir", "cache_enabled",
+    "load_unique_fraction", "store_unique_fraction",
+]
 
 _CACHE_VERSION = "v1"
 
@@ -44,6 +47,8 @@ def _deployment_key(deployment: Deployment) -> str:
     )
     if deployment.bits_per_error != 1:  # appended only when set: keeps
         key += f",b={deployment.bits_per_error}"  # single-bit keys stable
+    if deployment.max_steps is not None:  # same trick: the runaway guard
+        key += f",ms={deployment.max_steps}"  # changes outcomes when set
     return key
 
 
@@ -85,6 +90,55 @@ def _deserialize(blob: dict, deployment: Deployment) -> CampaignResult:
         profile_time=blob["profile_time"],
         injection_time=blob["injection_time"],
     )
+
+
+# ----------------------------------------------------------------------
+# parallel-unique profile fractions (one fault-free run per (app, p))
+# ----------------------------------------------------------------------
+def _fractions_path() -> Path:
+    return cache_dir() / "unique_fractions.json"
+
+
+def _fraction_key(app: AppProtocol, nprocs: int) -> str:
+    return f"{_CACHE_VERSION}|{app.cache_key()}|p={nprocs}"
+
+
+def _read_fractions() -> dict:
+    path = _fractions_path()
+    if not path.exists():
+        return {}
+    try:
+        blob = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        path.unlink(missing_ok=True)  # corrupt: recompute and rewrite
+        return {}
+    return blob if isinstance(blob, dict) else {}
+
+
+def load_unique_fraction(app: AppProtocol, nprocs: int) -> float | None:
+    """Disk-cached parallel-unique fraction for ``(app, nprocs)``, if any.
+
+    Target-scale profiling runs (p=64/128) are the costliest fault-free
+    executions of the pipeline; persisting their one-number result means
+    a fresh process never redoes them.
+    """
+    if not cache_enabled():
+        return None
+    value = _read_fractions().get(_fraction_key(app, nprocs))
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def store_unique_fraction(app: AppProtocol, nprocs: int, value: float) -> None:
+    """Persist a measured parallel-unique fraction (atomic rewrite)."""
+    if not cache_enabled():
+        return
+    blob = _read_fractions()
+    blob[_fraction_key(app, nprocs)] = float(value)
+    path = _fractions_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(blob, sort_keys=True))
+    tmp.replace(path)
 
 
 def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:

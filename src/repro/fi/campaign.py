@@ -11,6 +11,7 @@ raw material for every model input and every figure of the paper.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Generator, Protocol
@@ -37,7 +38,23 @@ from repro.taint.region import Region
 from repro.utils.rng import trial_seed
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Deployment", "CampaignResult", "run_campaign", "AppProtocol"]
+__all__ = [
+    "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
+    "default_jobs", "AppProtocol",
+]
+
+
+def default_jobs() -> int:
+    """Worker processes per campaign: ``$REPRO_JOBS``, falling back to 1.
+
+    1 means the classic in-process serial loop.  Any value produces a
+    bit-identical ``joint`` distribution (see :mod:`repro.fi.parallel`),
+    so this only trades wall-clock for cores.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 class AppProtocol(Protocol):
@@ -70,12 +87,15 @@ class Deployment:
     seed: int = 0
     max_steps: int | None = None        # scheduler runaway guard
     bits_per_error: int = 1             # >1 = multi-bit fault pattern
+    jobs: int | None = None             # worker processes; None = $REPRO_JOBS
 
     def __post_init__(self) -> None:
         check_positive_int(self.nprocs, "nprocs")
         check_positive_int(self.trials, "trials")
         check_positive_int(self.n_errors, "n_errors")
         check_positive_int(self.bits_per_error, "bits_per_error")
+        if self.jobs is not None:
+            check_positive_int(self.jobs, "jobs")
         if self.n_errors > 1 and self.target_rank is None and self.nprocs > 1:
             raise ConfigurationError(
                 "multi-error deployments on parallel executions must pin target_rank"
@@ -165,10 +185,84 @@ class CampaignResult:
         return act / n if n else float("nan")
 
 
+def run_one_trial(
+    app: AppProtocol,
+    deployment: Deployment,
+    profile: InstructionProfile,
+    reference: dict,
+    trial: int,
+    obs,
+) -> TrialRecord:
+    """Execute fault-injection test ``trial`` of ``deployment``.
+
+    The per-trial decisions depend only on ``(deployment.seed, trial)``
+    via :func:`~repro.utils.rng.trial_seed`, so trials can run in any
+    order — or in any process — and produce identical records.  Both the
+    serial campaign loop and the parallel workers
+    (:mod:`repro.fi.parallel`) call this one function.
+    """
+    trial_t0 = time.perf_counter()
+    with obs.span("trial"):
+        rng = trial_seed(deployment.seed, trial)
+        plan = sample_plan(
+            profile,
+            rng,
+            n_errors=deployment.n_errors,
+            target_rank=deployment.effective_target_rank,
+            region=deployment.region,
+            bits_per_error=deployment.bits_per_error,
+        )
+        tracer = Tracer(TracerMode.INJECT, plan)
+        detail = ""
+        try:
+            with obs.span("inject"):
+                outs = execute_spmd(
+                    app.program, deployment.nprocs, sink=tracer,
+                    max_steps=deployment.max_steps,
+                )
+        except FaultActivatedError as exc:
+            outcome, detail = Outcome.FAILURE, f"crash: {exc}"
+        except (DeadlockError, CommunicatorError) as exc:
+            outcome, detail = Outcome.FAILURE, f"hang: {exc}"
+        else:
+            outcome = classify_outcome(outs[0], reference, app.verify)
+    record = TrialRecord(
+        outcome=outcome,
+        n_contaminated=tracer.contaminated_count(),
+        activated=tracer.all_flips_activated,
+        detail=detail,
+    )
+    if obs.enabled:
+        obs.counter(f"campaign.trials.{outcome.value}")
+        obs.observe("taint.contamination_spread", record.n_contaminated)
+        for flip in tracer.activated_flips:
+            obs.emit(FaultInjected(
+                trial=trial, rank=flip.rank, region=flip.region.value,
+                index=flip.index, bit=flip.bit,
+            ))
+        obs.emit(TrialFinished(
+            trial=trial, outcome=outcome.value,
+            n_contaminated=record.n_contaminated,
+            activated=record.activated,
+            duration_s=time.perf_counter() - trial_t0,
+        ))
+    return record
+
+
+def _resolve_jobs(jobs: int | None, deployment: Deployment) -> int:
+    """Worker count precedence: call arg > ``Deployment.jobs`` > env."""
+    if jobs is None:
+        jobs = deployment.jobs
+    if jobs is None:
+        return default_jobs()
+    return check_positive_int(jobs, "jobs")
+
+
 def run_campaign(
     app: AppProtocol,
     deployment: Deployment,
     keep_records: bool = False,
+    jobs: int | None = None,
 ) -> CampaignResult:
     """Run a full fault-injection deployment for ``app``.
 
@@ -178,7 +272,13 @@ def run_campaign(
     the tracer armed.  Crashes (:class:`FaultActivatedError`), hangs
     (deadlocks) and communicator breakdown caused by fault-perturbed
     control flow are classified as ``FAILURE``.
+
+    ``jobs`` > 1 fans the trials out over a spawn-safe worker pool
+    (:mod:`repro.fi.parallel`); the result — including the ``joint``
+    distribution the disk cache persists — is bit-identical to the
+    serial path for any worker count.
     """
+    n_jobs = _resolve_jobs(jobs, deployment)
     obs = get_recorder()
     obs.emit(CampaignStarted(
         app=app.name, nprocs=deployment.nprocs, trials=deployment.trials,
@@ -198,59 +298,26 @@ def run_campaign(
         profile: InstructionProfile = profile_tracer.profile
         profile_time = time.perf_counter() - t0
 
-        joint: dict[tuple[Outcome, int, bool], int] = {}
-        records: list[TrialRecord] = []
         t1 = time.perf_counter()
-        for trial in range(deployment.trials):
-            trial_t0 = time.perf_counter()
-            with obs.span("trial"):
-                rng = trial_seed(deployment.seed, trial)
-                plan = sample_plan(
-                    profile,
-                    rng,
-                    n_errors=deployment.n_errors,
-                    target_rank=deployment.effective_target_rank,
-                    region=deployment.region,
-                    bits_per_error=deployment.bits_per_error,
-                )
-                tracer = Tracer(TracerMode.INJECT, plan)
-                detail = ""
-                try:
-                    with obs.span("inject"):
-                        outs = execute_spmd(
-                            app.program, deployment.nprocs, sink=tracer,
-                            max_steps=deployment.max_steps,
-                        )
-                except FaultActivatedError as exc:
-                    outcome, detail = Outcome.FAILURE, f"crash: {exc}"
-                except (DeadlockError, CommunicatorError) as exc:
-                    outcome, detail = Outcome.FAILURE, f"hang: {exc}"
-                else:
-                    outcome = classify_outcome(outs[0], reference, app.verify)
-            record = TrialRecord(
-                outcome=outcome,
-                n_contaminated=tracer.contaminated_count(),
-                activated=tracer.all_flips_activated,
-                detail=detail,
+        if n_jobs > 1 and deployment.trials > 1:
+            # imported lazily: parallel.py imports this module in turn
+            from repro.fi.parallel import run_trials_parallel
+
+            joint, records = run_trials_parallel(
+                app, deployment, profile, reference,
+                keep_records=keep_records, jobs=n_jobs,
             )
-            key = (record.outcome, record.n_contaminated, record.activated)
-            joint[key] = joint.get(key, 0) + 1
-            if keep_records:
-                records.append(record)
-            if obs.enabled:
-                obs.counter(f"campaign.trials.{outcome.value}")
-                obs.observe("taint.contamination_spread", record.n_contaminated)
-                for flip in tracer.activated_flips:
-                    obs.emit(FaultInjected(
-                        trial=trial, rank=flip.rank, region=flip.region.value,
-                        index=flip.index, bit=flip.bit,
-                    ))
-                obs.emit(TrialFinished(
-                    trial=trial, outcome=outcome.value,
-                    n_contaminated=record.n_contaminated,
-                    activated=record.activated,
-                    duration_s=time.perf_counter() - trial_t0,
-                ))
+        else:
+            joint = {}
+            records = []
+            for trial in range(deployment.trials):
+                record = run_one_trial(
+                    app, deployment, profile, reference, trial, obs
+                )
+                key = (record.outcome, record.n_contaminated, record.activated)
+                joint[key] = joint.get(key, 0) + 1
+                if keep_records:
+                    records.append(record)
         injection_time = time.perf_counter() - t1
 
     result = CampaignResult(

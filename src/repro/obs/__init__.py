@@ -42,13 +42,21 @@ from repro.obs.events import (
     TrialFinished,
     event_from_dict,
 )
-from repro.obs.recorder import Recorder, get_recorder, recording, set_recorder
+from repro.obs.recorder import (
+    ObsSnapshot,
+    Recorder,
+    get_recorder,
+    recording,
+    reset,
+    set_recorder,
+)
 from repro.obs.report import render_metrics_summary, render_trace_report
 from repro.obs.sinks import JsonlSink, MemorySink, ProgressSink, Sink, load_trace
 
 __all__ = [
     # recorder
-    "Recorder", "get_recorder", "set_recorder", "recording", "configure",
+    "Recorder", "ObsSnapshot", "get_recorder", "set_recorder", "recording",
+    "reset", "configure",
     # sinks
     "Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace",
     # events

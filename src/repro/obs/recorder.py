@@ -8,6 +8,19 @@ immediately, so the fault-injection hot path (per-vectorized-op
 accounting in :mod:`repro.taint.ops`) pays one attribute test and
 nothing else.
 
+Cross-process aggregation
+-------------------------
+Campaign workers (:mod:`repro.fi.parallel`) cannot share the parent's
+recorder, so each worker records into a local recorder and ships an
+:class:`ObsSnapshot` — a picklable bundle of counters, histograms, span
+totals and buffered events — back with its results.  The parent calls
+:meth:`Recorder.absorb` to merge the aggregates and re-emit the events
+to its own sinks, preserving serial-run semantics (progress lines,
+traces and metric summaries see every trial exactly once).  A worker
+recorder built with ``span_prefix=("campaign",)`` nests its trial spans
+under the parent's campaign span, keeping span paths identical to a
+serial run.
+
 Metrics model
 -------------
 * **counters** — monotonically increasing totals (``fp.add.rank0``,
@@ -24,12 +37,30 @@ from __future__ import annotations
 
 import contextlib
 import time
+from dataclasses import dataclass, field
 from typing import Callable, ContextManager, Iterator, Sequence
 
 from repro.obs.events import Event, SpanEnd
 from repro.obs.sinks import Sink
 
-__all__ = ["Recorder", "get_recorder", "set_recorder", "recording"]
+__all__ = [
+    "ObsSnapshot", "Recorder", "get_recorder", "set_recorder", "recording",
+    "reset",
+]
+
+
+@dataclass
+class ObsSnapshot:
+    """Picklable aggregate of one recorder's state (plus buffered events).
+
+    Produced by :meth:`Recorder.snapshot` in a worker process and merged
+    into the parent's recorder with :meth:`Recorder.absorb`.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, list[float]] = field(default_factory=dict)
+    span_totals: dict[str, list[float]] = field(default_factory=dict)
+    events: list[Event] = field(default_factory=list)
 
 
 class _NullSpan:
@@ -55,6 +86,7 @@ class Recorder:
         sinks: Sequence[Sink] = (),
         enabled: bool | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        span_prefix: Sequence[str] = (),
     ):
         self.sinks: list[Sink] = list(sinks)
         #: master switch — instrumentation sites test this one attribute.
@@ -63,7 +95,9 @@ class Recorder:
         self.histograms: dict[str, list[float]] = {}
         #: span path -> [count, total_seconds]
         self.span_totals: dict[str, list[float]] = {}
-        self._span_stack: list[str] = []
+        #: ``span_prefix`` seeds the nesting so a worker's trial spans
+        #: report the same paths as the parent's (never closed here).
+        self._span_stack: list[str] = list(span_prefix)
         self._clock = clock
 
     # ------------------------------------------------------------------
@@ -127,6 +161,44 @@ class Recorder:
         for sink in self.sinks:
             sink.close()
 
+    # ------------------------------------------------------------------
+    # cross-process aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self, events: Sequence[Event] = ()) -> ObsSnapshot:
+        """Copy this recorder's aggregates into a picklable bundle.
+
+        ``events`` lets the caller attach the buffered event stream of a
+        :class:`~repro.obs.sinks.MemorySink` so the parent can re-emit
+        it in order.
+        """
+        return ObsSnapshot(
+            counters=dict(self.counters),
+            histograms={k: list(v) for k, v in self.histograms.items()},
+            span_totals={k: list(v) for k, v in self.span_totals.items()},
+            events=list(events),
+        )
+
+    def absorb(self, snapshot: ObsSnapshot, emit_events: bool = True) -> None:
+        """Merge a worker's :class:`ObsSnapshot` into this recorder.
+
+        Counters add, histograms extend, span totals accumulate, and the
+        snapshot's events are re-emitted to this recorder's sinks in
+        their original order.  No-op while disabled.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, values in snapshot.histograms.items():
+            self.histograms.setdefault(name, []).extend(values)
+        for path, (count, total) in snapshot.span_totals.items():
+            agg = self.span_totals.setdefault(path, [0, 0.0])
+            agg[0] += count
+            agg[1] += total
+        if emit_events:
+            for event in snapshot.events:
+                self.emit(event)
+
 
 #: The process-wide recorder; disabled until something installs sinks.
 _RECORDER = Recorder()
@@ -142,6 +214,16 @@ def set_recorder(recorder: Recorder) -> Recorder:
     global _RECORDER
     previous, _RECORDER = _RECORDER, recorder
     return previous
+
+
+def reset() -> Recorder:
+    """Reinstall the default disabled recorder; returns the previous one.
+
+    Instrumented objects resolve the recorder once per instance (e.g.
+    :class:`repro.taint.ops.FPOps` per execution), so a reset takes
+    effect for everything constructed afterwards.
+    """
+    return set_recorder(Recorder())
 
 
 @contextlib.contextmanager

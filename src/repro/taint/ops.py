@@ -147,6 +147,24 @@ def _segmented_sums(
     return out
 
 
+#: rank -> (per-kind counter names, contamination counter name).  An
+#: FPOps handle is created per rank per execution — thousands of times
+#: per campaign — so the key strings are interned here once per rank
+#: instead of being rebuilt on every instantiation.
+_METER_KEYS: dict[int, tuple[dict[OpKind, str], str]] = {}
+
+
+def _meter_keys(rank: int) -> tuple[dict[OpKind, str], str]:
+    keys = _METER_KEYS.get(rank)
+    if keys is None:
+        keys = (
+            {kind: f"fp.{kind.value}.rank{rank}" for kind in OpKind},
+            f"taint.contaminated_reports.rank{rank}",
+        )
+        _METER_KEYS[rank] = keys
+    return keys
+
+
 class _MeteredSink:
     """Wraps a trace sink with per-rank dynamic-instruction metering.
 
@@ -163,8 +181,7 @@ class _MeteredSink:
     def __init__(self, inner: TraceSink, recorder, rank: int):
         self._inner = inner
         self._rec = recorder
-        self._keys = {kind: f"fp.{kind.value}.rank{rank}" for kind in OpKind}
-        self._contaminated_key = f"taint.contaminated_reports.rank{rank}"
+        self._keys, self._contaminated_key = _meter_keys(rank)
 
     def account(self, rank, region, kind, count):
         self._rec.counter(self._keys[kind], count)
@@ -190,6 +207,10 @@ class FPOps:
         self._sink: TraceSink = sink if sink is not None else NullSink()
         self.rank = int(rank)
         self._region = Region.COMMON
+        # The recorder is resolved exactly once per FPOps instance, never
+        # on the per-operation hot path; a newly installed recorder
+        # (set_recorder / obs.reset) is picked up by the next execution,
+        # which constructs fresh handles.
         recorder = get_recorder()
         if recorder.enabled:
             self._sink = _MeteredSink(self._sink, recorder, self.rank)

@@ -262,6 +262,24 @@ class TestCache:
         cached_campaign(app, Deployment(nprocs=1, trials=5, seed=1))
         assert len(list(tmp_path.glob("*.json"))) == 2
 
+    def test_max_steps_changes_the_key(self):
+        from repro.fi.cache import _deployment_key
+
+        base = Deployment(nprocs=2, trials=10, seed=0)
+        guarded = Deployment(nprocs=2, trials=10, seed=0, max_steps=500)
+        assert _deployment_key(base) != _deployment_key(guarded)
+        # ... but keys without the guard keep their historical form, so
+        # entries cached before the field existed are still served
+        assert ",ms=" not in _deployment_key(base)
+        assert _deployment_key(guarded).endswith(",ms=500")
+
+    def test_jobs_not_part_of_the_key(self):
+        from repro.fi.cache import _deployment_key
+
+        a = Deployment(nprocs=2, trials=10, seed=0, jobs=4)
+        b = Deployment(nprocs=2, trials=10, seed=0, jobs=1)
+        assert _deployment_key(a) == _deployment_key(b)
+
     def test_multibit_pattern_has_its_own_entry(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         app = TinyApp()

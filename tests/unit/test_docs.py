@@ -18,7 +18,7 @@ class TestDocsExist:
 
     @pytest.mark.parametrize(
         "name", ["fault-model.md", "model.md", "substrate.md", "developer.md",
-                 "apps.md", "observability.md"]
+                 "apps.md", "observability.md", "performance.md"]
     )
     def test_docs_pages(self, name):
         assert (ROOT / "docs" / name).stat().st_size > 500

@@ -1,8 +1,11 @@
 """Unit tests for experiment orchestration helpers."""
 
+import json
+
 import pytest
 
 from repro.apps import get_app
+from repro.experiments import common
 from repro.experiments.common import (
     build_predictor,
     measured_campaign,
@@ -11,6 +14,7 @@ from repro.experiments.common import (
     unique_campaign,
     unique_fraction,
 )
+from repro.fi.cache import cache_dir, load_unique_fraction, store_unique_fraction
 from repro.model.predictor import extrapolate_unique_fraction
 from repro.taint.region import Region
 
@@ -58,6 +62,52 @@ class TestCampaignBuilders:
                                     trials=TRIALS)
         fi = predictor.predict(4)
         assert fi.success + fi.sdc + fi.failure == pytest.approx(1.0)
+
+
+class TestFractionPersistence:
+    """unique_fraction results survive process restarts via the disk cache."""
+
+    @pytest.fixture(autouse=True)
+    def _clear_memory_cache(self):
+        saved = dict(common._fraction_cache)
+        common._fraction_cache.clear()
+        yield
+        common._fraction_cache.clear()
+        common._fraction_cache.update(saved)
+
+    def test_fraction_written_to_disk(self):
+        app = get_app("cg")
+        value = unique_fraction(app, 2)
+        path = cache_dir() / "unique_fractions.json"
+        assert path.is_file()
+        assert value in json.loads(path.read_text()).values()
+
+    def test_fresh_process_reads_disk_not_reprofiles(self):
+        """Simulated restart: empty memory cache, poisoned disk entry.
+
+        The sentinel coming back proves the value was served from disk
+        (a re-profile would have produced the true fraction instead).
+        """
+        app = get_app("cg")
+        unique_fraction(app, 2)
+        store_unique_fraction(app, 2, 0.123456)
+        common._fraction_cache.clear()
+        assert unique_fraction(app, 2) == 0.123456
+
+    def test_corrupt_fraction_file_recomputed(self):
+        app = get_app("cg")
+        true_value = unique_fraction(app, 2)
+        path = cache_dir() / "unique_fractions.json"
+        path.write_text("{ not json")
+        common._fraction_cache.clear()
+        assert unique_fraction(app, 2) == true_value
+
+    def test_disabled_cache_skips_disk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        app = get_app("cg")
+        unique_fraction(app, 2)
+        assert load_unique_fraction(app, 2) is None
+        assert not (cache_dir() / "unique_fractions.json").exists()
 
 
 class TestExtrapolationEdgeCases:
