@@ -31,16 +31,20 @@ report:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m repro.experiments report
 
 # Smoke test for the observability layer: run a tiny uncached campaign
-# with a JSONL trace + live progress, then render the trace.
+# with a JSONL trace + live progress, render the trace, and build the
+# HTML dashboard.  Everything lands under .repro-out/ (git-ignored) so
+# demo artifacts never end up in commits.
 obs-demo:
 	REPRO_CACHE=0 REPRO_TRIALS=20 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 		$(PYTHON) -m repro.experiments motivation \
-		--trace-out results/obs-demo.jsonl --progress --metrics-summary
+		--trace-out .repro-out/obs-demo.jsonl --progress --metrics-summary
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
-		$(PYTHON) -m repro.experiments obs-report results/obs-demo.jsonl
+		$(PYTHON) -m repro.experiments obs-report .repro-out/obs-demo.jsonl
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m repro.experiments obs-dashboard .repro-out/obs-demo.jsonl
 
 clean-cache:
-	rm -rf .repro-cache results
+	rm -rf .repro-cache .repro-out results
 
 loc:
 	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

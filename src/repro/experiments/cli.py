@@ -27,6 +27,12 @@ from repro.experiments import EXPERIMENTS
 __all__ = ["main"]
 
 
+def _warner(prog: str):
+    def warn(message: str) -> None:
+        print(f"{prog}: warning: {message}", file=sys.stderr)
+    return warn
+
+
 def _obs_report(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments obs-report",
@@ -34,13 +40,48 @@ def _obs_report(argv: list[str]) -> int:
     )
     parser.add_argument("path", help="trace file written with --trace-out")
     args = parser.parse_args(argv)
-    from repro.obs import render_trace_report
+    from repro.obs import load_trace, render_trace_report
 
     try:
-        print(render_trace_report(args.path))
+        events = load_trace(args.path, on_skip=_warner("obs-report"))
     except FileNotFoundError:
         print(f"obs-report: no such trace file: {args.path}", file=sys.stderr)
         return 2
+    if not events:
+        print(
+            f"obs-report: trace {args.path} contains no decodable events",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_trace_report(args.path))
+    return 0
+
+
+def _obs_dashboard(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs-dashboard",
+        description="Build a self-contained HTML dashboard from a JSONL "
+                    "trace (and its sibling *.provenance.jsonl, if present).",
+    )
+    parser.add_argument("path", help="trace file written with --trace-out")
+    parser.add_argument(
+        "-o", "--out", metavar="HTML", default=None,
+        help="output path (default: <trace>.dashboard.html)",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.dashboard import write_dashboard
+
+    try:
+        out = write_dashboard(
+            args.path, out_path=args.out, on_skip=_warner("obs-dashboard")
+        )
+    except FileNotFoundError:
+        print(f"obs-dashboard: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"obs-dashboard: {exc}", file=sys.stderr)
+        return 1
+    print(f"dashboard written to {out}")
     return 0
 
 
@@ -49,12 +90,14 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["obs-report"]:
         return _obs_report(argv[1:])
+    if argv[:1] == ["obs-dashboard"]:
+        return _obs_dashboard(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
-        epilog="See also the 'obs-report PATH' subcommand, which renders "
-               "a trace written with --trace-out.",
+        epilog="See also the 'obs-report PATH' and 'obs-dashboard PATH' "
+               "subcommands, which render a trace written with --trace-out.",
     )
     parser.add_argument(
         "experiment",
@@ -84,7 +127,14 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics-summary", action="store_true",
         help="print counters, histograms and span totals after the run",
     )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress tables and per-experiment timing; errors still print",
+    )
     args = parser.parse_args(argv)
+
+    if args.quiet and args.progress:
+        parser.error("--progress and --quiet are mutually exclusive")
 
     if args.jobs is not None:
         if args.jobs < 1:
@@ -110,15 +160,16 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             module = importlib.import_module(f"repro.experiments.{name}")
             t0 = time.perf_counter()
-            module.run(trials=args.trials, seed=args.seed)
-            print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+            module.run(trials=args.trials, seed=args.seed, quiet=args.quiet)
+            if not args.quiet:
+                print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
     finally:
         if recorder is not None:
             from repro.obs import render_metrics_summary, set_recorder
 
             set_recorder(previous)
             recorder.close()
-            if args.metrics_summary:
+            if args.metrics_summary and not args.quiet:
                 print(render_metrics_summary(recorder))
     return 0
 

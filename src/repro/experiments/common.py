@@ -12,7 +12,7 @@ from repro.apps import get_app
 from repro.apps.base import AppSpec
 from repro.fi.cache import (
     cached_campaign,
-    load_unique_fraction,
+    load_unique_fraction_stats,
     store_unique_fraction,
 )
 from repro.fi.campaign import CampaignResult, Deployment
@@ -29,6 +29,7 @@ __all__ = [
     "small_campaign",
     "measured_campaign",
     "unique_fraction",
+    "unique_fraction_stats",
     "build_predictor",
 ]
 
@@ -107,16 +108,18 @@ def unique_campaign(
     return cached_campaign(app, dep)
 
 
-_fraction_cache: dict[tuple[str, int], float] = {}
+_fraction_cache: dict[tuple[str, int], tuple[float, int]] = {}
 
 
-def unique_fraction(app: AppSpec, nprocs: int) -> float:
-    """Parallel-unique candidate-instruction share at ``nprocs``.
+def unique_fraction_stats(app: AppSpec, nprocs: int) -> tuple[float, int]:
+    """``(parallel-unique share, candidate instructions)`` at ``nprocs``.
 
     One fault-free profiling run — no injection, so obtaining it even at
     the target scale is cheap (the paper's hardware constraint concerns
     the thousands of injection runs, not one profile; it estimates the
-    equivalent execution-time weights with a performance model).
+    equivalent execution-time weights with a performance model).  The
+    candidate count is the share's denominator, used for confidence
+    intervals on the measured proportion.
 
     Results are memoized in-process and persisted to the disk cache, so
     target-scale profiling (p=64/128) happens once per cache lifetime,
@@ -124,14 +127,22 @@ def unique_fraction(app: AppSpec, nprocs: int) -> float:
     """
     key = (app.cache_key(), nprocs)
     if key not in _fraction_cache:
-        fraction = load_unique_fraction(app, nprocs)
-        if fraction is None:
+        stats = load_unique_fraction_stats(app, nprocs)
+        if stats is None:
             tracer = Tracer(TracerMode.PROFILE)
             execute_spmd(app.program, nprocs, sink=tracer)
-            fraction = tracer.profile.parallel_unique_fraction()
-            store_unique_fraction(app, nprocs, fraction)
-        _fraction_cache[key] = fraction
+            profile = tracer.profile
+            fraction = profile.parallel_unique_fraction()
+            candidates = sum(profile.candidates(r) for r in profile.ranks)
+            store_unique_fraction(app, nprocs, fraction, candidates)
+            stats = (fraction, candidates)
+        _fraction_cache[key] = stats
     return _fraction_cache[key]
+
+
+def unique_fraction(app: AppSpec, nprocs: int) -> float:
+    """Parallel-unique candidate-instruction share at ``nprocs``."""
+    return unique_fraction_stats(app, nprocs)[0]
 
 
 # ----------------------------------------------------------------------

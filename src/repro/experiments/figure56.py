@@ -55,7 +55,9 @@ def _print_figure(title: str, results: dict[str, dict]) -> None:
         (
             name.upper(),
             r["predicted"].success,
+            r["predicted"].interval().format(),
             r["measured"].success,
+            r["measured"].interval().format(),
             100 * r["error"],
             "yes" if r["fine_tuned"] else "no",
         )
@@ -64,7 +66,8 @@ def _print_figure(title: str, results: dict[str, dict]) -> None:
     errors = [r["error"] for r in results.values()]
     print(
         format_table(
-            ["Benchmark", "predicted", "measured", "error (pp)", "fine-tuned"],
+            ["Benchmark", "predicted", "pred 95% CI", "measured",
+             "meas 95% CI", "error (pp)", "fine-tuned"],
             rows,
             title=title,
         )

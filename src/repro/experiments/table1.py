@@ -9,7 +9,8 @@ Our proxy is the parallel-unique share of traced candidate instructions
 from __future__ import annotations
 
 from repro.apps import get_app
-from repro.experiments.common import unique_fraction
+from repro.experiments.common import unique_fraction_stats
+from repro.obs.confidence import wilson_interval
 from repro.utils.tables import format_table
 
 __all__ = ["run", "CONFIGS"]
@@ -33,15 +34,25 @@ def run(trials: int | None = None, seed: int = 0, quiet: bool = False) -> dict:
     rows = []
     fractions: dict[str, float] = {}
     for label, name in CONFIGS:
-        frac = unique_fraction(get_app(name), nprocs)
+        frac, candidates = unique_fraction_stats(get_app(name), nprocs)
         fractions[name] = frac
-        rows.append(
-            (label, f"{100 * frac:.2f}%" if frac > 0 else "No parallel-unique comp")
-        )
+        if frac > 0:
+            share = f"{100 * frac:.2f}%"
+            # uncertainty of the share seen as a sampled proportion: a
+            # uniformly drawn candidate instruction is parallel-unique
+            # with probability `frac` out of `candidates` draws.
+            ci = (
+                wilson_interval(round(frac * candidates), candidates)
+                .format(as_percent=True)
+                if candidates > 0 else "n/a"
+            )
+        else:
+            share, ci = "No parallel-unique comp", "—"
+        rows.append((label, share, ci))
     if not quiet:
         print(
             format_table(
-                ["Benchmark", "Parallel-unique share (p=4)"],
+                ["Benchmark", "Parallel-unique share (p=4)", "95% CI"],
                 rows,
                 title="Table 1 — percentage of parallel-unique computation",
             )

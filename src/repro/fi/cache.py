@@ -23,7 +23,8 @@ from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorde
 
 __all__ = [
     "cached_campaign", "cache_dir", "cache_enabled",
-    "load_unique_fraction", "store_unique_fraction",
+    "load_unique_fraction", "load_unique_fraction_stats",
+    "store_unique_fraction",
 ]
 
 _CACHE_VERSION = "v1"
@@ -120,20 +121,46 @@ def load_unique_fraction(app: AppProtocol, nprocs: int) -> float | None:
 
     Target-scale profiling runs (p=64/128) are the costliest fault-free
     executions of the pipeline; persisting their one-number result means
-    a fresh process never redoes them.
+    a fresh process never redoes them.  Accepts both the legacy bare
+    float entries and the current ``{"fraction", "candidates"}`` records.
     """
+    stats = load_unique_fraction_stats(app, nprocs)
+    if stats is not None:
+        return stats[0]
     if not cache_enabled():
         return None
     value = _read_fractions().get(_fraction_key(app, nprocs))
     return float(value) if isinstance(value, (int, float)) else None
 
 
-def store_unique_fraction(app: AppProtocol, nprocs: int, value: float) -> None:
+def load_unique_fraction_stats(
+    app: AppProtocol, nprocs: int
+) -> tuple[float, int] | None:
+    """Cached ``(fraction, candidate_instructions)`` for ``(app, nprocs)``.
+
+    The candidate count is the denominator behind the fraction, needed
+    for confidence intervals on the share.  Legacy bare-float cache
+    entries (pre-count schema) return None so callers re-profile once
+    and rewrite the entry in the current format.
+    """
+    if not cache_enabled():
+        return None
+    value = _read_fractions().get(_fraction_key(app, nprocs))
+    if isinstance(value, dict) and "fraction" in value:
+        return float(value["fraction"]), int(value.get("candidates", 0))
+    return None
+
+
+def store_unique_fraction(
+    app: AppProtocol, nprocs: int, value: float, candidates: int = 0
+) -> None:
     """Persist a measured parallel-unique fraction (atomic rewrite)."""
     if not cache_enabled():
         return
     blob = _read_fractions()
-    blob[_fraction_key(app, nprocs)] = float(value)
+    blob[_fraction_key(app, nprocs)] = {
+        "fraction": float(value), "candidates": int(candidates),
+    }
     path = _fractions_path()
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".tmp")

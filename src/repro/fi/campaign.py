@@ -34,6 +34,7 @@ from repro.obs import (
     TrialFinished,
     get_recorder,
 )
+from repro.obs.provenance import build_trial_provenance
 from repro.taint.region import Region
 from repro.utils.rng import trial_seed
 from repro.utils.validation import check_positive_int
@@ -246,6 +247,7 @@ def run_one_trial(
             activated=record.activated,
             duration_s=time.perf_counter() - trial_t0,
         ))
+        obs.emit(build_trial_provenance(trial, plan, tracer, record))
     return record
 
 

@@ -47,6 +47,14 @@ class PlannedFlip:
         if not 0 <= self.bit < _N_BITS:
             raise InjectionPlanError(f"bit {self.bit} outside [0, {_N_BITS})")
 
+    def to_payload(self) -> dict:
+        """JSON-ready description of this fault site (provenance records)."""
+        return {
+            "rank": self.rank, "region": self.region.value,
+            "index": self.index, "operand": self.operand.name,
+            "bit": self.bit,
+        }
+
 
 @dataclass(frozen=True)
 class InjectionPlan:
@@ -62,6 +70,10 @@ class InjectionPlan:
     @property
     def target_ranks(self) -> frozenset[int]:
         return frozenset(f.rank for f in self.flips)
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready list of fault sites, in plan order."""
+        return [f.to_payload() for f in self.flips]
 
     def for_rank_region(self, rank: int, region: Region) -> list[PlannedFlip]:
         """Flips of this plan in ``rank``'s ``region`` stream, index-sorted."""

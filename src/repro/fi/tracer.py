@@ -12,17 +12,24 @@ The tracer is also the collection point for *process contamination*:
 the taint layer and the MPI simulator call :meth:`mark_contaminated`
 whenever a rank's data diverges from the fault-free shadow — the
 quantity profiled in the paper's Figs. 1–2.
+
+Fault provenance (:mod:`repro.obs.provenance`) is collected here too:
+the scheduler binds a step provider (:meth:`bind_step_provider`) so the
+contamination timeline records *when* each rank was first touched, and
+the taint layer reports each applied flip's op kind and pre/post
+operand values through :meth:`record_flip`.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.fi.plan import InjectionPlan, PlannedFlip
 from repro.fi.profile import InstructionProfile
+from repro.obs.provenance import FlipObservation
 from repro.taint.region import Region
-from repro.taint.tracer_api import LaneInjection, OpKind
+from repro.taint.tracer_api import LaneInjection, Operand, OpKind
 
 __all__ = ["Tracer", "TracerMode"]
 
@@ -64,6 +71,11 @@ class Tracer:
         self.profile = InstructionProfile()
         self.contaminated: set[int] = set()
         self.activated_flips: list[PlannedFlip] = []
+        #: (scheduler step, rank) appended when a rank is first contaminated.
+        self.contamination_timeline: list[tuple[int, int]] = []
+        #: applied-flip observations (op kind + pre/post operand values).
+        self.flip_observations: list[FlipObservation] = []
+        self._step_provider: Callable[[], int] | None = None
         self._cursors: dict[tuple[int, Region], _StreamCursor] = {}
         if mode is TracerMode.INJECT:
             if plan is None:
@@ -94,14 +106,42 @@ class Tracer:
             fired = cursor.advance(count)
             self.activated_flips.extend(fired)
             return [
-                LaneInjection(offset=f.index - start, operand=f.operand, bit=f.bit)
+                LaneInjection(
+                    offset=f.index - start, operand=f.operand, bit=f.bit,
+                    index=f.index,
+                )
                 for f in fired
             ]
         cursor.position += count
         return ()
 
     def mark_contaminated(self, rank: int) -> None:
-        self.contaminated.add(rank)
+        if rank not in self.contaminated:
+            self.contaminated.add(rank)
+            step = self._step_provider() if self._step_provider is not None else -1
+            self.contamination_timeline.append((step, rank))
+
+    def record_flip(
+        self,
+        rank: int,
+        region: Region,
+        kind: OpKind,
+        index: int,
+        operand: Operand,
+        bits: Sequence[int],
+        pre: float,
+        post: float,
+    ) -> None:
+        """Store the observed values of one applied fault (provenance)."""
+        self.flip_observations.append(FlipObservation(
+            rank=rank, region=region.value, op=kind.value, index=index,
+            operand=operand.name, bits=tuple(bits),
+            pre=float(pre), post=float(post),
+        ))
+
+    def bind_step_provider(self, provider: Callable[[], int]) -> None:
+        """Let the scheduler date contamination marks with its step count."""
+        self._step_provider = provider
 
     # ------------------------------------------------------------------
     # post-run queries

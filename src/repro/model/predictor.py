@@ -22,12 +22,35 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fi.campaign import CampaignResult
+from repro.fi.outcomes import Outcome
 from repro.model.finetune import AlphaFineTuner, needs_fine_tuning
+from repro.obs.confidence import ConfidenceInterval
 from repro.model.propagation import PropagationProfile, group_histogram
 from repro.model.result import FaultInjectionResult
 from repro.model.sampling import SerialSamplePlan
 
 __all__ = ["PredictionInputs", "ResiliencePredictor"]
+
+
+def _combine_bounds(
+    rates: dict[Outcome, float],
+    contributions: list[tuple[float, FaultInjectionResult]],
+) -> dict[Outcome, ConfidenceInterval]:
+    """Propagate measured uncertainty into a predicted triple.
+
+    A predicted rate is a convex combination ``sum_i w_i * p_i`` of
+    measured rates; its half-width is bounded by the same combination of
+    the inputs' Wilson half-widths (conservative — treats the sampling
+    errors as fully correlated), centered on the predicted rate and
+    clipped to [0, 1].
+    """
+    out: dict[Outcome, ConfidenceInterval] = {}
+    for oc, rate in rates.items():
+        half = sum(w * fi.interval(oc).width / 2.0 for w, fi in contributions)
+        out[oc] = ConfidenceInterval(
+            max(0.0, rate - half), min(1.0, rate + half)
+        )
+    return out
 
 
 def extrapolate_unique_fraction(fractions: dict[int, float], target_nprocs: int) -> float:
@@ -128,10 +151,17 @@ class ResiliencePredictor:
             return common
         unique = self.inputs.unique_result
         prob1 = 1.0 - prob2
+        rates = {
+            oc: prob1 * common.rate(oc) + prob2 * unique.rate(oc)
+            for oc in Outcome
+        }
         return FaultInjectionResult.from_rates(
-            success=prob1 * common.success + prob2 * unique.success,
-            sdc=prob1 * common.sdc + prob2 * unique.sdc,
-            failure=prob1 * common.failure + prob2 * unique.failure,
+            success=rates[Outcome.SUCCESS],
+            sdc=rates[Outcome.SDC],
+            failure=rates[Outcome.FAILURE],
+            bounds=_combine_bounds(
+                rates, [(prob1, common), (prob2, unique)]
+            ),
         )
 
     def predict_common(self, target_nprocs: int) -> FaultInjectionResult:
@@ -148,6 +178,7 @@ class ResiliencePredictor:
         weights = self._group_weights(plan.n_samples)
         tune = self.fine_tuning_active
         succ = sdc = fail = 0.0
+        contributions: list[tuple[float, FaultInjectionResult]] = []
         for g, case in enumerate(plan.sample_cases, start=1):
             fi = samples.get(case)
             if fi is None:
@@ -155,13 +186,19 @@ class ResiliencePredictor:
                     f"missing serial sample for x={case} errors "
                     f"(plan cases: {plan.sample_cases})"
                 )
+            w = weights[g - 1]
+            # Uncertainty is carried by the *measured* sample; tuned
+            # triples are derived quantities with n_trials = 0.
+            contributions.append((w, fi))
             if tune:
                 fi = self._tuner.tuned_for_group(g, plan.n_samples, fi)
-            w = weights[g - 1]
             succ += w * fi.success
             sdc += w * fi.sdc
             fail += w * fi.failure
-        return FaultInjectionResult.from_rates(succ, sdc, fail)
+        rates = {Outcome.SUCCESS: succ, Outcome.SDC: sdc, Outcome.FAILURE: fail}
+        return FaultInjectionResult.from_rates(
+            succ, sdc, fail, bounds=_combine_bounds(rates, contributions)
+        )
 
     # ------------------------------------------------------------------
     def _group_count(self, samples: dict[int, FaultInjectionResult]) -> int:

@@ -9,22 +9,32 @@ paper's figures focus on the success rate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.fi.campaign import CampaignResult
 from repro.fi.outcomes import Outcome
+from repro.obs.confidence import Z_95, ConfidenceInterval, wilson_interval
 
 __all__ = ["FaultInjectionResult", "result_given_contaminated"]
 
 
 @dataclass(frozen=True)
 class FaultInjectionResult:
-    """Outcome rates of one deployment (or one conditional slice of it)."""
+    """Outcome rates of one deployment (or one conditional slice of it).
+
+    ``bounds`` carries *derived* per-outcome uncertainty for predicted
+    triples (``n_trials == 0``), propagated by the predictor from the
+    Wilson intervals of its measured inputs; measured triples leave it
+    empty and compute Wilson intervals from ``n_trials`` on demand.
+    """
 
     success: float
     sdc: float
     failure: float
     n_trials: int = 0
+    bounds: dict[Outcome, ConfidenceInterval] | None = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         total = self.success + self.sdc + self.failure
@@ -42,9 +52,18 @@ class FaultInjectionResult:
         )
 
     @classmethod
-    def from_rates(cls, success: float, sdc: float, failure: float) -> "FaultInjectionResult":
+    def from_rates(
+        cls,
+        success: float,
+        sdc: float,
+        failure: float,
+        bounds: dict[Outcome, ConfidenceInterval] | None = None,
+    ) -> "FaultInjectionResult":
         """Model-predicted triple (not tied to a trial count)."""
-        return cls(success=success, sdc=sdc, failure=failure, n_trials=0)
+        return cls(
+            success=success, sdc=sdc, failure=failure, n_trials=0,
+            bounds=bounds,
+        )
 
     # ------------------------------------------------------------------
     def rate(self, outcome: Outcome) -> float:
@@ -71,6 +90,22 @@ class FaultInjectionResult:
             max(self.success * (1.0 - self.success), 0.0) / self.n_trials
         )
         return (max(self.success - half, 0.0), min(self.success + half, 1.0))
+
+    def interval(
+        self, outcome: Outcome = Outcome.SUCCESS, z: float = Z_95
+    ) -> ConfidenceInterval:
+        """Confidence interval on one outcome rate.
+
+        Precedence: predictor-derived ``bounds`` when present, then the
+        Wilson score interval from ``n_trials``, then the degenerate
+        point interval for predicted triples with no propagated bounds.
+        """
+        if self.bounds is not None and outcome in self.bounds:
+            return self.bounds[outcome]
+        p = min(max(self.rate(outcome), 0.0), 1.0)
+        if self.n_trials > 0:
+            return wilson_interval(round(p * self.n_trials), self.n_trials, z)
+        return ConfidenceInterval(p, p)
 
 
 def result_given_contaminated(

@@ -75,6 +75,12 @@ class Scheduler:
         self._sink: TraceSink = sink if sink is not None else NullSink()
         self._max_steps = max_steps
         self._steps = 0
+        # Provenance: let the sink date contamination marks with the
+        # deterministic step counter (fault-spread timelines).  getattr
+        # keeps minimal sinks (tests, NullSink substitutes) working.
+        bind = getattr(self._sink, "bind_step_provider", None)
+        if bind is not None:
+            bind(lambda: self._steps)
         #: (src, dst) -> point-to-point message count; filled when
         #: record_traffic is set (communication-topology analysis).
         self.traffic: dict[tuple[int, int], int] | None = (

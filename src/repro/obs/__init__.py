@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs.confidence import ConfidenceInterval, wilson_interval
 from repro.obs.events import (
     CacheCorrupt,
     CacheHit,
@@ -40,7 +41,14 @@ from repro.obs.events import (
     SchedulerDeadlock,
     SpanEnd,
     TrialFinished,
+    TrialProvenance,
     event_from_dict,
+)
+from repro.obs.provenance import (
+    FaultProvenance,
+    FlipObservation,
+    load_provenance,
+    provenance_path,
 )
 from repro.obs.recorder import (
     ObsSnapshot,
@@ -62,7 +70,11 @@ __all__ = [
     # events
     "Event", "CampaignStarted", "CampaignFinished", "TrialFinished",
     "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
-    "SchedulerDeadlock", "SpanEnd", "event_from_dict",
+    "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
+    # provenance
+    "FaultProvenance", "FlipObservation", "load_provenance", "provenance_path",
+    # confidence
+    "ConfidenceInterval", "wilson_interval",
     # reports
     "render_trace_report", "render_metrics_summary",
 ]
@@ -72,17 +84,29 @@ def configure(
     trace_path: str | Path | None = None,
     progress: bool = False,
     metrics: bool = False,
+    provenance: bool = True,
 ) -> Recorder:
     """Build and globally install a recorder for this process.
 
     ``trace_path`` attaches a :class:`JsonlSink`, ``progress`` a stderr
     :class:`ProgressSink`; ``metrics`` enables counter/histogram/span
     collection even with no sink attached (for ``--metrics-summary``).
+    With ``trace_path`` set and ``provenance`` left on, bulky
+    :class:`TrialProvenance` events are routed to a second, timestamp-free
+    sink at :func:`provenance_path` instead of the main trace, keeping
+    the provenance file bit-identical across worker counts.
     Returns the installed recorder — call ``close()`` on it when done.
     """
     sinks: list[Sink] = []
     if trace_path is not None:
-        sinks.append(JsonlSink(trace_path))
+        if provenance:
+            sinks.append(JsonlSink(trace_path, exclude=(TrialProvenance,)))
+            sinks.append(JsonlSink(
+                provenance_path(trace_path), only=(TrialProvenance,),
+                stamp_ts=False,
+            ))
+        else:
+            sinks.append(JsonlSink(trace_path, exclude=(TrialProvenance,)))
     if progress:
         sinks.append(ProgressSink())
     recorder = Recorder(sinks, enabled=bool(sinks) or metrics)

@@ -1,0 +1,81 @@
+"""Wilson score confidence intervals for measured outcome rates.
+
+Every rate the reproduction reports is an estimate from a finite number
+of fault-injection tests; a 3.1% SDC rate from 64 trials and one from
+10,000 trials are very different claims.  This module attaches that
+uncertainty: the Wilson score interval (Wilson 1927), which — unlike the
+textbook normal approximation — stays inside [0, 1], has sane coverage
+at small ``n``, and degrades gracefully at p = 0 or 1 where the Wald
+interval collapses to a point.
+
+For a measured proportion ``p = k/n`` and normal quantile ``z``::
+
+    center = (p + z^2 / 2n) / (1 + z^2 / n)
+    half   = z * sqrt(p (1 - p) / n + z^2 / 4 n^2) / (1 + z^2 / n)
+
+``n = 0`` yields the non-informative interval (0, 1) — no data, no
+claim.  The default ``z = 1.96`` gives the usual 95% level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ConfidenceInterval", "wilson_interval", "Z_95"]
+
+#: normal quantile for a two-sided 95% interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a proportion."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high <= 1.0:
+            raise ValueError(
+                f"invalid proportion interval [{self.low}, {self.high}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, p: float) -> bool:
+        return self.low <= p <= self.high
+
+    def format(self, as_percent: bool = False) -> str:
+        """Render as ``[lo, hi]``, optionally in percent."""
+        if as_percent:
+            return f"[{100.0 * self.low:.1f}%, {100.0 * self.high:.1f}%]"
+        return f"[{self.low:.4f}, {self.high:.4f}]"
+
+
+def wilson_interval(successes: int, n: int, z: float = Z_95) -> ConfidenceInterval:
+    """Wilson score interval for ``successes`` hits out of ``n`` tests.
+
+    ``n = 0`` returns the non-informative (0, 1).  Raises ``ValueError``
+    on negative counts, ``successes > n``, or non-positive ``z``.
+    """
+    if n < 0 or successes < 0:
+        raise ValueError(f"negative counts: successes={successes}, n={n}")
+    if successes > n:
+        raise ValueError(f"successes={successes} exceeds n={n}")
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    if n == 0:
+        return ConfidenceInterval(0.0, 1.0)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
+    # at p = 0 (resp. 1) the exact bound is 0 (resp. 1); rounding noise
+    # in center ∓ half must not push it past the point estimate.
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == n else min(1.0, center + half)
+    return ConfidenceInterval(low, high)

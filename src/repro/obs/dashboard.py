@@ -1,0 +1,231 @@
+"""Campaign dashboard: one self-contained HTML page per trace.
+
+Takes the two files an instrumented campaign leaves behind — the JSONL
+event trace (``--trace-out``) and its sibling ``*.provenance.jsonl`` —
+and renders a single static HTML file with every chart inlined as SVG
+(:mod:`repro.viz.svg`): outcome rates with 95% Wilson whiskers, a
+bit-position × outcome heatmap, a contamination-spread histogram,
+injection-latency percentiles, and the per-phase timing table.  No
+JavaScript, no external stylesheets, fonts, or images — the file can be
+attached to a CI run or an email and opened anywhere.
+
+Build one with ``python -m repro.experiments obs-dashboard TRACE`` or
+programmatically via :func:`write_dashboard`.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.numerics.bits import bit_width
+from repro.obs.confidence import wilson_interval
+from repro.obs.events import (
+    CampaignStarted,
+    Event,
+    SpanEnd,
+    TrialFinished,
+)
+from repro.obs.provenance import FaultProvenance, load_provenance, provenance_path
+from repro.obs.sinks import load_trace
+from repro.viz.svg import bar_chart, bar_chart_with_ci, heatmap
+
+__all__ = ["render_dashboard", "write_dashboard", "dashboard_path"]
+
+#: canonical outcome order for every chart (matches the paper's figures).
+_OUTCOMES = ["success", "sdc", "failure"]
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 960px; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: left;
+         font-size: 0.9em; }
+th { background: #f0f3f7; }
+section { margin-bottom: 1.5em; }
+.meta { color: #666; font-size: 0.85em; }
+"""
+
+
+def dashboard_path(trace_path: str | Path) -> Path:
+    """Default output path: ``run.jsonl`` → ``run.dashboard.html``."""
+    path = Path(trace_path)
+    return path.with_name(path.stem + ".dashboard.html")
+
+
+# ----------------------------------------------------------------------
+# section builders
+# ----------------------------------------------------------------------
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _html_table(headers: list[str], rows: Iterable[tuple]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _campaign_section(events: list[Event]) -> str:
+    starts = [e for e in events if isinstance(e, CampaignStarted)]
+    if not starts:
+        return "<p class='meta'>(no campaign metadata in trace)</p>"
+    rows = [
+        (e.app, e.nprocs, e.trials, e.n_errors, e.seed) for e in starts
+    ]
+    return _html_table(["app", "nprocs", "trials", "errors/test", "seed"], rows)
+
+
+def _outcome_section(events: list[Event]) -> str:
+    trials = [e for e in events if isinstance(e, TrialFinished)]
+    if not trials:
+        return "<p class='meta'>(no finished trials in trace)</p>"
+    n = len(trials)
+    counts = {oc: 0 for oc in _OUTCOMES}
+    for t in trials:
+        counts[t.outcome] = counts.get(t.outcome, 0) + 1
+    values, intervals, rows = [], [], []
+    for oc in _OUTCOMES:
+        k = counts.get(oc, 0)
+        ci = wilson_interval(k, n)
+        values.append(k / n)
+        intervals.append((ci.low, ci.high))
+        rows.append((oc, k, f"{100 * k / n:.1f}%", ci.format(as_percent=True)))
+    svg = bar_chart_with_ci(
+        [oc.upper() for oc in _OUTCOMES], values, intervals,
+        title=f"Outcome rates with 95% Wilson intervals ({n} trials)",
+        ylabel="rate",
+    ).render()
+    return svg + _html_table(["outcome", "trials", "rate", "95% CI"], rows)
+
+
+def _bit_heatmap_section(records: list[FaultProvenance]) -> str:
+    n_bits = bit_width(np.dtype(np.float64))
+    fired = [r for r in records if r.fired]
+    if not fired:
+        return "<p class='meta'>(no fired flips in provenance)</p>"
+    grid = [[0] * n_bits for _ in _OUTCOMES]
+    row_of = {oc: i for i, oc in enumerate(_OUTCOMES)}
+    for r in fired:
+        ri = row_of.get(r.outcome)
+        if ri is None:
+            continue
+        for bit in r.bits:
+            grid[ri][bit] += 1
+    svg = heatmap(
+        [oc.upper() for oc in _OUTCOMES],
+        list(range(n_bits)),
+        grid,
+        title=f"Outcome by corrupted bit position ({len(fired)} trials with fired flips)",
+        col_label_every=8,
+    ).render()
+    return svg + (
+        "<p class='meta'>Bit 0 = mantissa LSB; "
+        f"bit {n_bits - 1} = sign. Cell colour ∝ trial count.</p>"
+    )
+
+
+def _spread_section(records: list[FaultProvenance]) -> str:
+    activated = [r for r in records if r.activated and r.n_contaminated >= 1]
+    if not activated:
+        return "<p class='meta'>(no activated trials in provenance)</p>"
+    counts: dict[int, int] = {}
+    for r in activated:
+        counts[r.n_contaminated] = counts.get(r.n_contaminated, 0) + 1
+    cats = list(range(1, max(counts) + 1))
+    svg = bar_chart(
+        cats, [counts.get(c, 0) for c in cats],
+        title=f"Contamination spread ({len(activated)} activated trials)",
+        ylabel="trials", percent=False,
+    ).render()
+    return svg
+
+
+def _phase_section(events: list[Event]) -> str:
+    totals: dict[str, list[float]] = {}
+    for e in events:
+        if isinstance(e, SpanEnd):
+            agg = totals.setdefault(e.path, [0, 0.0])
+            agg[0] += 1
+            agg[1] += e.duration_s
+    if not totals:
+        return "<p class='meta'>(no timing spans in trace)</p>"
+    rows = []
+    for path in sorted(totals):
+        count, total = totals[path]
+        count = int(count)
+        mean_ms = 1000.0 * total / count if count else 0.0
+        rows.append((path, count, f"{total:.3f}", f"{mean_ms:.3f}"))
+    return _html_table(["phase", "count", "total s", "mean ms"], rows)
+
+
+# ----------------------------------------------------------------------
+def render_dashboard(
+    trace_path: str | Path,
+    provenance: str | Path | None = None,
+    on_skip: Callable[[str], None] | None = None,
+) -> str:
+    """Render the dashboard HTML for one trace (+ optional provenance).
+
+    ``provenance`` defaults to the trace's sibling
+    ``*.provenance.jsonl`` when that file exists.  Raises
+    ``FileNotFoundError`` for a missing trace and ``ValueError`` for a
+    trace with no decodable events — callers (the CLI) turn both into
+    one-line errors.
+    """
+    trace_path = Path(trace_path)
+    events = load_trace(trace_path, on_skip=on_skip)
+    if not events:
+        raise ValueError(f"trace {trace_path} contains no decodable events")
+    if provenance is None:
+        candidate = provenance_path(trace_path)
+        provenance = candidate if candidate.exists() else None
+    records: list[FaultProvenance] = []
+    if provenance is not None:
+        records = load_provenance(provenance, on_skip=on_skip)
+
+    sections = [
+        ("Campaigns", _campaign_section(events)),
+        ("Outcome rates", _outcome_section(events)),
+        ("Fault sites", _bit_heatmap_section(records)),
+        ("Contamination spread", _spread_section(records)),
+        ("Phase timing", _phase_section(events)),
+    ]
+    body = "\n".join(
+        f"<section><h2>{_esc(title)}</h2>\n{content}</section>"
+        for title, content in sections
+    )
+    prov_note = (
+        f" · provenance: <code>{_esc(provenance)}</code>" if provenance else
+        " · no provenance file found"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        f"<title>Campaign dashboard — {_esc(trace_path.name)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<h1>Campaign dashboard</h1>\n"
+        f"<p class='meta'>trace: <code>{_esc(trace_path)}</code>{prov_note}</p>\n"
+        f"{body}\n</body>\n</html>\n"
+    )
+
+
+def write_dashboard(
+    trace_path: str | Path,
+    out_path: str | Path | None = None,
+    provenance: str | Path | None = None,
+    on_skip: Callable[[str], None] | None = None,
+) -> Path:
+    """Render and write the dashboard; returns the output path."""
+    out = Path(out_path) if out_path is not None else dashboard_path(trace_path)
+    text = render_dashboard(trace_path, provenance=provenance, on_skip=on_skip)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    return out

@@ -4,7 +4,8 @@ Every event is a frozen dataclass with a stable ``type`` tag; sinks
 serialize events as flat dicts (``{"type": ..., **fields}``), and
 :func:`load_trace` reconstructs the typed objects from a JSONL trace so
 analyses can replay a run.  Events carry only plain JSON-serializable
-payloads (strings, numbers, bools, lists thereof) by construction.
+payloads (strings, numbers, bools, and lists/dicts thereof) by
+construction.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ __all__ = [
     "CampaignFinished",
     "TrialFinished",
     "FaultInjected",
+    "TrialProvenance",
     "CacheHit",
     "CacheMiss",
     "CacheWrite",
@@ -95,6 +97,34 @@ class FaultInjected(Event):
 
 
 @dataclass(frozen=True)
+class TrialProvenance(Event):
+    """Full fault provenance of one trial (site → spread → outcome).
+
+    The bulky sibling of :class:`TrialFinished`: links the sampled fault
+    site(s) to what actually happened.  ``planned`` lists every flip of
+    the injection plan (``rank``/``region``/``index``/``operand``/
+    ``bit``); ``fired`` lists the flips that actually landed, enriched
+    with the dynamic op kind and the operand value before/after
+    corruption; ``timeline`` records ``[step, rank]`` pairs — the
+    scheduler step at which each rank was first contaminated, in
+    contamination order.  All payloads are deterministic functions of
+    ``(deployment, trial)``, so provenance files are bit-identical for
+    any worker count (see :mod:`repro.obs.provenance`).
+    """
+
+    type: ClassVar[str] = "trial_provenance"
+
+    trial: int
+    outcome: str          # Outcome.value: "success" | "sdc" | "failure"
+    n_contaminated: int
+    activated: bool
+    detail: str
+    planned: list[dict]   # one entry per planned flip
+    fired: list[dict]     # one entry per applied (instruction, operand) group
+    timeline: list[list[int]]   # [scheduler step, rank], first-touch order
+
+
+@dataclass(frozen=True)
 class CacheHit(Event):
     """A campaign was served from the disk cache."""
 
@@ -159,7 +189,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
     for cls in (
         CampaignStarted, CampaignFinished, TrialFinished, FaultInjected,
-        CacheHit, CacheMiss, CacheWrite, CacheCorrupt,
+        TrialProvenance, CacheHit, CacheMiss, CacheWrite, CacheCorrupt,
         SchedulerDeadlock, SpanEnd,
     )
 }

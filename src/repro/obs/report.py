@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.obs.confidence import wilson_interval
 from repro.obs.events import Event, SpanEnd, TrialFinished
 from repro.obs.recorder import Recorder
 from repro.obs.sinks import load_trace
@@ -54,9 +55,9 @@ def outcome_counts(events: Iterable[Event]) -> dict[str, int]:
     return out
 
 
-def render_trace_report(path: str | Path) -> str:
+def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
-    events = load_trace(path)
+    events = load_trace(path, on_skip=on_skip)
     sections = [
         phase_table(_aggregate_spans(events), title=f"Phases — {path}")
     ]
@@ -64,12 +65,13 @@ def render_trace_report(path: str | Path) -> str:
     if outcomes:
         n = sum(outcomes.values())
         rows = [
-            (name, count, round(count / n, 3))
+            (name, count, round(count / n, 3),
+             wilson_interval(count, n).format(as_percent=True))
             for name, count in sorted(outcomes.items())
         ]
         sections.append(
             format_table(
-                ["outcome", "trials", "rate"], rows,
+                ["outcome", "trials", "rate", "95% CI"], rows,
                 title=f"Trial outcomes ({n} trials)",
             )
         )

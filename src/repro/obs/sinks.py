@@ -56,19 +56,42 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends events to ``path`` as JSON lines with a wall-clock ``ts``."""
+    """Appends events to ``path`` as JSON lines with a wall-clock ``ts``.
 
-    def __init__(self, path: str | Path, clock: Callable[[], float] = time.time):
+    ``only`` / ``exclude`` restrict which event classes the sink accepts
+    (the CLI routes bulky :class:`~repro.obs.events.TrialProvenance`
+    events to their own file this way).  ``stamp_ts=False`` omits the
+    wall-clock field, making the file a deterministic function of the
+    event stream — required for provenance files, which must be
+    bit-identical across worker counts.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        clock: Callable[[], float] = time.time,
+        only: tuple[type[Event], ...] | None = None,
+        exclude: tuple[type[Event], ...] = (),
+        stamp_ts: bool = True,
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: TextIO | None = self.path.open("w")
         self._clock = clock
+        self._only = only
+        self._exclude = exclude
+        self._stamp_ts = stamp_ts
 
     def write(self, event: Event) -> None:
         if self._fh is None:
             raise RuntimeError(f"JsonlSink({self.path}) written after close()")
+        if self._only is not None and not isinstance(event, self._only):
+            return
+        if self._exclude and isinstance(event, self._exclude):
+            return
         blob = event.to_dict()
-        blob["ts"] = self._clock()
+        if self._stamp_ts:
+            blob["ts"] = self._clock()
         self._fh.write(json.dumps(blob) + "\n")
 
     def close(self) -> None:
@@ -77,21 +100,28 @@ class JsonlSink:
             self._fh = None
 
 
-def load_trace(path: str | Path) -> list[Event]:
+def load_trace(
+    path: str | Path, on_skip: Callable[[str], None] | None = None
+) -> list[Event]:
     """Replay a JSONL trace into typed events (unknown types skipped).
 
-    Truncated final lines — a process killed mid-write — are tolerated.
+    Truncated final lines — a process killed mid-write — are tolerated;
+    ``on_skip`` (if given) receives one message per undecodable line so
+    callers can surface a warning instead of silently dropping data.
     """
     events: list[Event] = []
     with Path(path).open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 blob = json.loads(line)
             except json.JSONDecodeError:
-                continue  # partial trailing line from an interrupted run
+                # partial trailing line from an interrupted run
+                if on_skip is not None:
+                    on_skip(f"{path}:{lineno}: skipping partial/corrupt line")
+                continue
             event = event_from_dict(blob)
             if event is not None:
                 events.append(event)

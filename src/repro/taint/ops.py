@@ -68,20 +68,23 @@ def _flip(value: float, bit: int) -> float:
 
 def _group_injections(
     injections: Sequence[LaneInjection],
-) -> list[tuple[int, Operand, tuple[int, ...]]]:
-    """Group same-site injections into (offset, operand, bits) events.
+) -> list[tuple[int, Operand, tuple[int, ...], int]]:
+    """Group same-site injections into (offset, operand, bits, index) events.
 
     A multi-bit fault is expressed as several planned flips sharing one
     dynamic instruction and operand; they must corrupt the *same* view
     of the operand (XOR of all bits), not be applied as independent
-    recomputations.
+    recomputations.  ``index`` is the group's global candidate-stream
+    index (identical for every flip in a group, since a group is one
+    dynamic instruction), carried through for provenance reporting.
     """
-    grouped: dict[tuple[int, Operand], list[int]] = {}
+    grouped: dict[tuple[int, Operand], tuple[list[int], int]] = {}
     for inj in injections:
-        grouped.setdefault((inj.offset, inj.operand), []).append(inj.bit)
+        bits, _ = grouped.setdefault((inj.offset, inj.operand), ([], inj.index))
+        bits.append(inj.bit)
     return sorted(
-        (offset, operand, tuple(sorted(bits)))
-        for (offset, operand), bits in grouped.items()
+        (offset, operand, tuple(sorted(bits)), index)
+        for (offset, operand), (bits, index) in grouped.items()
     )
 
 
@@ -92,7 +95,10 @@ def _flip_bits(value: float, bits: tuple[int, ...]) -> float:
 
 
 def _sum_sequential_with_injections(
-    flat: np.ndarray, injections: Sequence[LaneInjection], apply_flips: bool
+    flat: np.ndarray,
+    injections: Sequence[LaneInjection],
+    apply_flips: bool,
+    on_flip=None,
 ) -> float:
     """Sum ``flat`` in sequential order, applying reduction-add flips.
 
@@ -100,30 +106,42 @@ def _sum_sequential_with_injections(
     the sum of elements ``0..i``.  Operand ``A`` is the accumulator,
     ``B`` the incoming element, ``OUT`` the accumulator after the add.
     With ``apply_flips=False`` the same association order is used without
-    flips (golden-path rounding parity).
+    flips (golden-path rounding parity).  ``on_flip(index, operand,
+    bits, pre, post)`` reports each applied corruption for provenance
+    (faulty path only).
     """
     if flat.size == 0:
         return 0.0
     acc = 0.0
     prev = 0  # next un-consumed element index
-    pending: dict[int, list[tuple[Operand, tuple[int, ...]]]] = {}
-    for offset, operand, bits in _group_injections(injections):
-        pending.setdefault(offset, []).append((operand, bits))
+    pending: dict[int, list[tuple[Operand, tuple[int, ...], int]]] = {}
+    for offset, operand, bits, index in _group_injections(injections):
+        pending.setdefault(offset, []).append((operand, bits, index))
     for i in sorted(pending):
         # the i-th reduction add consumes element i + 1
         acc = acc + float(np.sum(flat[prev : i + 1]))
         elem = float(flat[i + 1])
-        out_bits: tuple[int, ...] = ()
-        for operand, bits in pending[i]:
+        out_entries: list[tuple[tuple[int, ...], int]] = []
+        for operand, bits, index in pending[i]:
             if apply_flips and operand == Operand.A:
-                acc = _flip_bits(acc, bits)
+                flipped = _flip_bits(acc, bits)
+                if on_flip is not None:
+                    on_flip(index, operand, bits, acc, flipped)
+                acc = flipped
             if apply_flips and operand == Operand.B:
-                elem = _flip_bits(elem, bits)
+                flipped = _flip_bits(elem, bits)
+                if on_flip is not None:
+                    on_flip(index, operand, bits, elem, flipped)
+                elem = flipped
             if operand == Operand.OUT:
-                out_bits += bits
+                out_entries.append((bits, index))
         acc = acc + elem
-        if apply_flips and out_bits:
-            acc = _flip_bits(acc, out_bits)
+        if apply_flips and out_entries:
+            for bits, index in out_entries:
+                flipped = _flip_bits(acc, bits)
+                if on_flip is not None:
+                    on_flip(index, Operand.OUT, bits, acc, flipped)
+                acc = flipped
         prev = i + 2
     return acc + float(np.sum(flat[prev:]))
 
@@ -191,6 +209,11 @@ class _MeteredSink:
         self._rec.counter(self._contaminated_key)
         return self._inner.mark_contaminated(rank)
 
+    def record_flip(self, rank, region, kind, index, operand, bits, pre, post):
+        record = getattr(self._inner, "record_flip", None)
+        if record is not None:
+            record(rank, region, kind, index, operand, bits, pre, post)
+
 
 class FPOps:
     """Per-rank handle for traced floating-point computation.
@@ -214,6 +237,27 @@ class FPOps:
         recorder = get_recorder()
         if recorder.enabled:
             self._sink = _MeteredSink(self._sink, recorder, self.rank)
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def _flip_reporter(self, kind: OpKind):
+        """Bound ``on_flip(index, operand, bits, pre, post)`` callback.
+
+        Only built when injections actually landed in an operation (at
+        most a handful of times per trial), so the clean path never pays
+        for provenance.  Returns None for sinks without ``record_flip``
+        (minimal test doubles).
+        """
+        record = getattr(self._sink, "record_flip", None)
+        if record is None:
+            return None
+        rank, region = self.rank, self._region
+
+        def on_flip(index, operand, bits, pre, post):
+            record(rank, region, kind, index, operand, bits, pre, post)
+
+        return on_flip
 
     # ------------------------------------------------------------------
     # regions
@@ -339,7 +383,10 @@ class FPOps:
             # Sequential decomposition on both paths (rounding parity).
             f_flat = ta.faulty.reshape(-1)
             gval = _sum_sequential_with_injections(g_flat, injections, apply_flips=False)
-            fval = _sum_sequential_with_injections(f_flat, injections, apply_flips=True)
+            fval = _sum_sequential_with_injections(
+                f_flat, injections, apply_flips=True,
+                on_flip=self._flip_reporter(OpKind.ADD),
+            )
             out = TArray(np.asarray(gval), np.asarray(fval))
         if out.diverged:
             self._sink.mark_contaminated(self.rank)
@@ -401,20 +448,28 @@ class FPOps:
             if not prod_f.flags.writeable:
                 prod_f = prod_f.copy()
             # Multiply-stage flips corrupt single product lanes.
-            for k, operand, bits in _group_injections(mul_injs):
+            mul_report = self._flip_reporter(OpKind.MUL) if mul_injs else None
+            for k, operand, bits, index in _group_injections(mul_injs):
                 a_val = float(tdata.faulty.reshape(-1)[k])
                 b_val = float(tx.faulty[indices[k]])
                 if operand == Operand.A:
-                    prod_f[k] = _flip_bits(a_val, bits) * b_val
+                    pre, post = a_val, _flip_bits(a_val, bits)
+                    prod_f[k] = post * b_val
                 elif operand == Operand.B:
-                    prod_f[k] = a_val * _flip_bits(b_val, bits)
+                    pre, post = b_val, _flip_bits(b_val, bits)
+                    prod_f[k] = a_val * post
                 else:
-                    prod_f[k] = _flip_bits(float(prod_f[k]), bits)
+                    pre = float(prod_f[k])
+                    post = _flip_bits(pre, bits)
+                    prod_f[k] = post
+                if mul_report is not None:
+                    mul_report(index, operand, bits, pre, post)
             y_f = _segmented_sums(prod_f, indptr, empty_rows)
             # Reduction-stage flips: redo affected rows sequentially on
             # both paths (rounding parity), grouping injections per row.
             if add_injs:
                 y_g = y_g.copy()
+                add_report = self._flip_reporter(OpKind.ADD)
                 per_row: dict[int, list[LaneInjection]] = {}
                 for inj in add_injs:
                     row = int(np.searchsorted(add_offsets, inj.offset, side="right")) - 1
@@ -422,6 +477,7 @@ class FPOps:
                         offset=inj.offset - int(add_offsets[row]),
                         operand=inj.operand,
                         bit=inj.bit,
+                        index=inj.index,
                     )
                     per_row.setdefault(row, []).append(local)
                 for row, local_injs in per_row.items():
@@ -430,7 +486,8 @@ class FPOps:
                         prod_g[lo:hi], local_injs, apply_flips=False
                     )
                     y_f[row] = _sum_sequential_with_injections(
-                        prod_f[lo:hi], local_injs, apply_flips=True
+                        prod_f[lo:hi], local_injs, apply_flips=True,
+                        on_flip=add_report,
                     )
             out = TArray(y_g, y_f)
         if out.diverged:
@@ -466,6 +523,7 @@ class FPOps:
         y_f = _segmented_sums(vf, indptr, empty_rows)
         if injections:
             y_g = y_g.copy()
+            add_report = self._flip_reporter(OpKind.ADD)
             per_row: dict[int, list[LaneInjection]] = {}
             for inj in injections:
                 row = int(np.searchsorted(add_offsets, inj.offset, side="right")) - 1
@@ -473,6 +531,7 @@ class FPOps:
                     offset=inj.offset - int(add_offsets[row]),
                     operand=inj.operand,
                     bit=inj.bit,
+                    index=inj.index,
                 )
                 per_row.setdefault(row, []).append(local)
             for row, local_injs in per_row.items():
@@ -481,7 +540,8 @@ class FPOps:
                     vg[lo:hi], local_injs, apply_flips=False
                 )
                 y_f[row] = _sum_sequential_with_injections(
-                    vf[lo:hi], local_injs, apply_flips=True
+                    vf[lo:hi], local_injs, apply_flips=True,
+                    on_flip=add_report,
                 )
         out = TArray(y_g, y_f)
         if out.diverged:
@@ -500,18 +560,25 @@ class FPOps:
             return TArray(g)
         f = ufunc(ta.faulty, tb.faulty) if diverged else g.copy()
         if injections:
+            on_flip = self._flip_reporter(kind)
             f = np.array(f, copy=True)  # ensure writable, drop any sharing
             f_flat = f.reshape(-1)
             out_shape = g.shape
-            for lane, operand, bits in _group_injections(injections):
+            for lane, operand, bits, index in _group_injections(injections):
                 a_val = _lane_value(ta.faulty, lane, out_shape)
                 b_val = _lane_value(tb.faulty, lane, out_shape)
                 if operand == Operand.A:
-                    f_flat[lane] = ufunc(_flip_bits(a_val, bits), b_val)
+                    pre, post = a_val, _flip_bits(a_val, bits)
+                    f_flat[lane] = ufunc(post, b_val)
                 elif operand == Operand.B:
-                    f_flat[lane] = ufunc(a_val, _flip_bits(b_val, bits))
+                    pre, post = b_val, _flip_bits(b_val, bits)
+                    f_flat[lane] = ufunc(a_val, post)
                 else:
-                    f_flat[lane] = _flip_bits(float(f_flat[lane]), bits)
+                    pre = float(f_flat[lane])
+                    post = _flip_bits(pre, bits)
+                    f_flat[lane] = post
+                if on_flip is not None:
+                    on_flip(index, operand, bits, pre, post)
         out = TArray(g, f)
         if out.diverged:
             self._sink.mark_contaminated(self.rank)

@@ -57,12 +57,16 @@ class LaneInjection:
 
     ``offset`` indexes the scalar instruction within the operation's
     candidate stream (for an elementwise op: the flat output lane; for a
-    reduction: the index of the reduction add).
+    reduction: the index of the reduction add).  ``index`` is the flip's
+    global index in the (rank, region) candidate stream — carried along
+    so the taint layer can attribute observed pre/post operand values
+    back to the planned fault site (:meth:`TraceSink.record_flip`).
     """
 
     offset: int
     operand: Operand
     bit: int
+    index: int = -1
 
 
 class TraceSink(Protocol):
@@ -83,6 +87,28 @@ class TraceSink(Protocol):
         """Record that ``rank``'s state diverged from the fault-free run."""
         ...
 
+    def record_flip(
+        self,
+        rank: int,
+        region: Region,
+        kind: OpKind,
+        index: int,
+        operand: Operand,
+        bits: Sequence[int],
+        pre: float,
+        post: float,
+    ) -> None:
+        """Report the observed values of one applied fault.
+
+        Called by the taint layer at the moment a planned flip (or a
+        multi-bit group sharing one dynamic instruction and operand) is
+        applied: ``pre`` is the operand's value as the corrupted
+        instruction would have read it, ``post`` the value it actually
+        read after the flip(s).  Feeds fault provenance
+        (:mod:`repro.obs.provenance`); implementations may ignore it.
+        """
+        ...
+
 
 class NullSink:
     """A sink that counts nothing and never injects (plain execution)."""
@@ -91,4 +117,7 @@ class NullSink:
         return ()
 
     def mark_contaminated(self, rank):  # noqa: D102
+        return None
+
+    def record_flip(self, rank, region, kind, index, operand, bits, pre, post):  # noqa: D102
         return None

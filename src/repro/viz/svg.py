@@ -11,7 +11,10 @@ from __future__ import annotations
 import html
 from typing import Sequence
 
-__all__ = ["SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart", "PALETTE"]
+__all__ = [
+    "SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart",
+    "bar_chart_with_ci", "heatmap", "PALETTE",
+]
 
 #: Colour cycle for series (colour-blind-safe subset).
 PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"]
@@ -143,6 +146,102 @@ def grouped_bar_chart(
         canvas.text(x0 + (ci + 0.5) * slot, y1 + 16, cat, size=10)
     if show_legend:
         _legend(canvas, list(series), x1 - 130, y0 + 6)
+    return canvas
+
+
+def bar_chart_with_ci(
+    categories: Sequence,
+    values: Sequence[float],
+    intervals: Sequence[tuple[float, float] | None],
+    title: str,
+    ylabel: str = "", percent: bool = True,
+    width: int = 560, height: int = 320,
+) -> SvgCanvas:
+    """Single-series bars with confidence-interval whiskers.
+
+    ``intervals[i]`` is the (low, high) band around ``values[i]``; None
+    suppresses the whisker for that bar.
+    """
+    n_cat = len(categories)
+    if len(values) != n_cat or len(intervals) != n_cat:
+        raise ValueError(
+            f"lengths differ: {n_cat} categories, {len(values)} values, "
+            f"{len(intervals)} intervals"
+        )
+    canvas = SvgCanvas(width, height)
+    x0, y0, x1, y1 = 64, 40, width - 20, height - 50
+    tops = [hi for iv in intervals if iv is not None for _, hi in [iv]]
+    ymax = max(max(list(values) + tops, default=0.0) * 1.15, 1e-9)
+    if percent:
+        ymax = max(min(ymax, 1.0), 0.2)
+    _axes(canvas, title, x0, y0, x1, y1, ymax, ylabel, percent)
+    slot = (x1 - x0) / n_cat
+
+    def sy(v):
+        return y1 - (min(v, ymax) / ymax) * (y1 - y0)
+
+    for ci, (val, interval) in enumerate(zip(values, intervals)):
+        x = x0 + ci * slot + slot * 0.15
+        bw = slot * 0.7
+        canvas.rect(x, sy(val), bw, y1 - sy(val), fill=PALETTE[0])
+        if interval is not None:
+            lo, hi = interval
+            cx = x + bw / 2
+            canvas.line(cx, sy(hi), cx, sy(lo), stroke="#222", width=1.5)
+            canvas.line(cx - 5, sy(hi), cx + 5, sy(hi), stroke="#222", width=1.5)
+            canvas.line(cx - 5, sy(lo), cx + 5, sy(lo), stroke="#222", width=1.5)
+    for ci, cat in enumerate(categories):
+        canvas.text(x0 + (ci + 0.5) * slot, y1 + 16, cat, size=10)
+    return canvas
+
+
+def _heat_colour(frac: float) -> str:
+    """White → deep blue ramp for heatmap cells (frac in [0, 1])."""
+    frac = min(max(frac, 0.0), 1.0)
+    r = round(255 - 187 * frac)
+    g = round(255 - 136 * frac)
+    b = round(255 - 85 * frac)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def heatmap(
+    row_labels: Sequence, col_labels: Sequence,
+    values: Sequence[Sequence[float]], title: str,
+    width: int = 900, height: int | None = None,
+    col_label_every: int = 1,
+) -> SvgCanvas:
+    """Matrix heatmap (rows × columns, colour ∝ value / matrix max).
+
+    ``col_label_every`` thins dense column axes (e.g. 64 bit positions
+    labelled every 8th).
+    """
+    n_rows, n_cols = len(row_labels), len(col_labels)
+    if len(values) != n_rows or any(len(r) != n_cols for r in values):
+        raise ValueError(f"values shape != {n_rows}x{n_cols}")
+    if height is None:
+        height = 70 + 28 * n_rows + 30
+    canvas = SvgCanvas(width, height)
+    x0, y0 = 90, 46
+    cell_w = (width - x0 - 20) / max(n_cols, 1)
+    cell_h = 28.0
+    vmax = max((v for row in values for v in row), default=0.0)
+    canvas.text(canvas.width / 2, 22, title, size=14)
+    for ri, label in enumerate(row_labels):
+        y = y0 + ri * cell_h
+        canvas.text(x0 - 8, y + cell_h / 2 + 4, label, size=10, anchor="end")
+        for ci in range(n_cols):
+            v = values[ri][ci]
+            canvas.rect(
+                x0 + ci * cell_w, y, cell_w, cell_h,
+                fill=_heat_colour(v / vmax if vmax > 0 else 0.0),
+                stroke="#eee",
+            )
+    for ci, label in enumerate(col_labels):
+        if ci % col_label_every:
+            continue
+        canvas.text(
+            x0 + (ci + 0.5) * cell_w, y0 + n_rows * cell_h + 14, label, size=9
+        )
     return canvas
 
 

@@ -1,0 +1,101 @@
+"""Property-style tests for Wilson score intervals and rate bounds."""
+
+import math
+
+import pytest
+
+from repro.fi.outcomes import Outcome
+from repro.model.result import FaultInjectionResult
+from repro.obs.confidence import ConfidenceInterval, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_no_data_is_noninformative(self):
+        ci = wilson_interval(0, 0)
+        assert (ci.low, ci.high) == (0.0, 1.0)
+
+    def test_always_within_unit_interval(self):
+        for n in (1, 2, 5, 17, 100, 4000):
+            for k in {0, 1, n // 2, n - 1, n}:
+                ci = wilson_interval(k, n)
+                assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_covers_the_point_estimate(self):
+        for n in (1, 3, 10, 250):
+            for k in range(0, n + 1, max(1, n // 7)):
+                assert wilson_interval(k, n).contains(k / n)
+
+    def test_degenerate_rates_keep_positive_width(self):
+        # p = 0 and p = 1: the Wald interval collapses, Wilson must not.
+        for n in (1, 10, 1000):
+            assert wilson_interval(0, n).width > 0
+            assert wilson_interval(n, n).width > 0
+
+    def test_width_narrows_monotonically_with_n(self):
+        widths = [wilson_interval(n // 2, n).width for n in (8, 32, 128, 512, 2048)]
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < widths[0] / 4  # ~1/sqrt(n) scaling
+
+    def test_single_trial_stays_wide(self):
+        assert wilson_interval(1, 1).width > 0.2
+        assert wilson_interval(0, 1).width > 0.2
+
+    def test_higher_z_widens(self):
+        narrow = wilson_interval(30, 100, z=1.0)
+        wide = wilson_interval(30, 100, z=2.576)
+        assert wide.width > narrow.width
+        assert wide.low < narrow.low and wide.high > narrow.high
+
+    def test_matches_closed_form(self):
+        k, n, z = 13, 40, 1.96
+        p = k / n
+        denom = 1 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+        ci = wilson_interval(k, n, z=z)
+        assert ci.low == pytest.approx(center - half)
+        assert ci.high == pytest.approx(center + half)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 5, z=0.0)
+
+    def test_interval_validates_ordering(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.7, 0.2)
+        with pytest.raises(ValueError):
+            ConfidenceInterval(-0.1, 0.5)
+
+    def test_format_percent(self):
+        assert wilson_interval(0, 0).format(as_percent=True) == "[0.0%, 100.0%]"
+
+
+class TestResultIntervals:
+    def test_measured_result_uses_wilson(self):
+        fi = FaultInjectionResult(success=0.8, sdc=0.1, failure=0.1, n_trials=50)
+        ci = fi.interval(Outcome.SUCCESS)
+        assert ci == wilson_interval(40, 50)
+        assert ci.contains(0.8)
+
+    def test_predicted_result_without_bounds_is_point(self):
+        fi = FaultInjectionResult.from_rates(0.9, 0.05, 0.05)
+        ci = fi.interval(Outcome.SUCCESS)
+        assert ci.low == ci.high == pytest.approx(0.9)
+
+    def test_derived_bounds_take_precedence(self):
+        bounds = {Outcome.SUCCESS: ConfidenceInterval(0.82, 0.98)}
+        fi = FaultInjectionResult.from_rates(0.9, 0.05, 0.05, bounds=bounds)
+        assert fi.interval(Outcome.SUCCESS) == bounds[Outcome.SUCCESS]
+        # outcomes without derived bounds fall back to the point interval
+        assert fi.interval(Outcome.SDC).width == 0.0
+
+    def test_legacy_success_interval_unchanged(self):
+        fi = FaultInjectionResult(success=0.8, sdc=0.1, failure=0.1, n_trials=50)
+        lo, hi = fi.success_interval()
+        half = 1.96 * math.sqrt(0.8 * 0.2 / 50)
+        assert lo == pytest.approx(0.8 - half)
+        assert hi == pytest.approx(0.8 + half)

@@ -1,0 +1,161 @@
+"""Dashboard rendering: self-contained HTML, charts, CLI behavior."""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.dashboard import dashboard_path, render_dashboard, write_dashboard
+from repro.obs.events import (
+    CampaignStarted,
+    SpanEnd,
+    TrialFinished,
+    TrialProvenance,
+)
+from repro.obs.sinks import JsonlSink
+from repro.viz.svg import bar_chart_with_ci, heatmap
+
+_EXTERNAL_REF = re.compile(r"""(?:src|href)\s*=\s*["']?(?:[a-z]+:)?//""", re.I)
+
+
+def _write_trace(tmp_path, trials=6):
+    trace = tmp_path / "run.jsonl"
+    sink = JsonlSink(trace)
+    sink.write(CampaignStarted(app="demo", nprocs=2, trials=trials,
+                               n_errors=1, seed=0))
+    sink.write(SpanEnd(path="campaign/profile", duration_s=0.2))
+    for i in range(trials):
+        sink.write(SpanEnd(path="campaign/trial", duration_s=0.05))
+        sink.write(TrialFinished(
+            trial=i, outcome="sdc" if i % 3 == 0 else "success",
+            n_contaminated=1 + i % 2, activated=True, duration_s=0.05,
+        ))
+    sink.close()
+    prov = tmp_path / "run.provenance.jsonl"
+    psink = JsonlSink(prov, stamp_ts=False)
+    for i in range(trials):
+        psink.write(TrialProvenance(
+            trial=i, outcome="sdc" if i % 3 == 0 else "success",
+            n_contaminated=1 + i % 2, activated=True, detail="",
+            planned=[{"rank": 0, "region": "common", "index": 5 * i,
+                      "operand": "A", "bit": i * 9 % 64}],
+            fired=[{"rank": 0, "region": "common", "op": "add",
+                    "index": 5 * i, "operand": "A", "bits": [i * 9 % 64],
+                    "pre": 1.0, "post": 3.0}],
+            timeline=[[3 * i, 0]] + ([[3 * i + 1, 1]] if i % 2 else []),
+        ))
+    psink.close()
+    return trace
+
+
+class TestRenderDashboard:
+    def test_self_contained_html(self, tmp_path):
+        html = render_dashboard(_write_trace(tmp_path))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert not _EXTERNAL_REF.search(html)
+
+    def test_contains_all_sections_and_charts(self, tmp_path):
+        html = render_dashboard(_write_trace(tmp_path))
+        for section in ("Campaigns", "Outcome rates", "Fault sites",
+                        "Contamination spread", "Phase timing"):
+            assert section in html
+        assert html.count("<svg") == 3  # whisker bars, heatmap, spread
+        assert "Wilson" in html
+
+    def test_works_without_provenance(self, tmp_path):
+        trace = _write_trace(tmp_path)
+        (tmp_path / "run.provenance.jsonl").unlink()
+        html = render_dashboard(trace)
+        assert "no provenance file found" in html
+        assert "Outcome rates" in html
+
+    def test_empty_trace_raises_value_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="no decodable events"):
+            render_dashboard(empty)
+
+    def test_missing_trace_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            render_dashboard(tmp_path / "nope.jsonl")
+
+    def test_write_dashboard_default_path(self, tmp_path):
+        trace = _write_trace(tmp_path)
+        out = write_dashboard(trace)
+        assert out == dashboard_path(trace)
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestDashboardCli:
+    def test_cli_builds_dashboard(self, tmp_path, capsys):
+        trace = _write_trace(tmp_path)
+        assert main(["obs-dashboard", str(trace)]) == 0
+        assert dashboard_path(trace).is_file()
+        assert "dashboard written to" in capsys.readouterr().out
+
+    def test_cli_custom_output(self, tmp_path):
+        trace = _write_trace(tmp_path)
+        out = tmp_path / "custom.html"
+        assert main(["obs-dashboard", str(trace), "-o", str(out)]) == 0
+        assert out.is_file()
+
+    def test_cli_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["obs-dashboard", str(tmp_path / "gone.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "no such trace file" in err and "Traceback" not in err
+
+    def test_cli_empty_trace_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs-dashboard", str(empty)]) == 1
+        assert "no decodable events" in capsys.readouterr().err
+
+    def test_cli_warns_on_partial_line(self, tmp_path, capsys):
+        trace = _write_trace(tmp_path)
+        with trace.open("a") as fh:
+            fh.write('{"type": "trial_fin')
+        assert main(["obs-dashboard", str(trace)]) == 0
+        assert "skipping partial/corrupt line" in capsys.readouterr().err
+
+    def test_quiet_progress_conflict_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--progress", "--quiet"])
+        assert exc.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestChartPrimitives:
+    def test_bar_chart_with_ci_is_valid_svg(self):
+        svg = bar_chart_with_ci(
+            ["A", "B"], [0.4, 0.9], [(0.3, 0.5), None], title="t"
+        ).render()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        # one whisker (3 lines) beyond the 2 axes + 10 grid/tick lines
+        assert svg.count("<line") >= 3
+
+    def test_bar_chart_with_ci_validates_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart_with_ci(["A"], [0.5, 0.6], [None, None], title="t")
+
+    def test_heatmap_is_valid_svg(self):
+        svg = heatmap(
+            ["r1", "r2"], list(range(8)),
+            [[0, 1, 2, 3, 4, 5, 6, 7], [7, 6, 5, 4, 3, 2, 1, 0]],
+            title="heat", col_label_every=4,
+        ).render()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert svg.count("<rect") >= 16
+
+    def test_heatmap_validates_shape(self):
+        with pytest.raises(ValueError):
+            heatmap(["r1"], [0, 1], [[1, 2, 3]], title="bad")
+
+    def test_heatmap_all_zero_matrix(self):
+        svg = heatmap(["r"], [0, 1], [[0, 0]], title="z").render()
+        assert "#ffffff" in svg

@@ -281,3 +281,75 @@ class TestConfigure:
 
     def test_default_recorder_is_disabled(self):
         assert not obs.get_recorder().enabled
+
+class TestSnapshotAbsorb:
+    """Edge cases of the worker-aggregation snapshot/absorb cycle."""
+
+    def test_absorb_empty_snapshot_is_identity(self):
+        rec = obs.Recorder(enabled=True)
+        rec.counter("x", 2)
+        rec.observe("h", 1.0)
+        with rec.span("s"):
+            pass
+        before = (dict(rec.counters),
+                  {k: list(v) for k, v in rec.histograms.items()},
+                  {k: list(v) for k, v in rec.span_totals.items()})
+        rec.absorb(obs.ObsSnapshot())
+        assert (rec.counters, rec.histograms, rec.span_totals) == before
+
+    def test_nested_span_prefix_composes_paths(self):
+        worker = obs.Recorder(enabled=True, span_prefix=("campaign", "chunk"))
+        with worker.span("trial"):
+            with worker.span("inject"):
+                pass
+        parent = obs.Recorder(enabled=True)
+        parent.absorb(worker.snapshot())
+        assert set(parent.span_totals) == {
+            "campaign/chunk/trial", "campaign/chunk/trial/inject",
+        }
+
+    def test_absorb_after_reset_goes_to_new_recorder(self):
+        worker = obs.Recorder(enabled=True)
+        worker.counter("trials", 5)
+        snap = worker.snapshot()
+        first = obs.Recorder(enabled=True)
+        with obs.recording(first):
+            obs.reset()
+            fresh = obs.get_recorder()
+            # the default reset() recorder is disabled: absorb is a no-op
+            fresh.absorb(snap)
+            assert fresh.counters == {}
+            replacement = obs.Recorder(enabled=True)
+            obs.set_recorder(replacement)
+            obs.get_recorder().absorb(snap)
+            assert replacement.counters == {"trials": 5}
+        assert first.counters == {}  # never touched after the reset
+
+    def test_absorb_reemits_events_in_order(self):
+        mem_worker = MemorySink()
+        worker = obs.Recorder([mem_worker])
+        for i in range(3):
+            worker.emit(_trial(i))
+        mem_parent = MemorySink()
+        parent = obs.Recorder([mem_parent])
+        parent.absorb(worker.snapshot(events=mem_worker.events))
+        assert [e.trial for e in mem_parent.of(TrialFinished)] == [0, 1, 2]
+
+
+class TestLoadTraceSkips:
+    def test_partial_trailing_line_skipped_with_message(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write(_trial(0))
+        sink.close()
+        with path.open("a") as fh:
+            fh.write('{"type": "trial_fin')  # interrupted mid-write
+        messages = []
+        events = load_trace(path, on_skip=messages.append)
+        assert len(events) == 1
+        assert len(messages) == 1 and ":2:" in messages[0]
+
+    def test_no_callback_still_tolerates_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('not json at all\n')
+        assert load_trace(path) == []

@@ -1,0 +1,162 @@
+"""Fault-provenance records: assembly, persistence, parallel parity.
+
+The app is a module-level class so ``spawn`` workers can unpickle it
+(see test_parallel.py for the idiom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fi.campaign import Deployment, run_campaign
+from repro.numerics.bits import flip_bit_scalar
+from repro.obs.events import TrialProvenance
+from repro.obs.provenance import (
+    FaultProvenance,
+    FlipObservation,
+    load_provenance,
+    provenance_path,
+)
+from repro.obs.sinks import MemorySink
+
+
+class ProvApp:
+    """Distributed dot product with a final allreduce (spreads taint)."""
+
+    name = "prov"
+
+    def __init__(self, n=64, tol=1e-9):
+        self.n = n
+        self.tol = tol
+
+    def program(self, rank, size, comm, fp):
+        chunk = self.n // size
+        x = fp.asarray(np.linspace(1.0, 2.0, chunk) + rank)
+        local = fp.dot(x, x)
+        total = yield comm.allreduce(local, op="sum")
+        if rank == 0:
+            return {"total": total.value}
+        return None
+
+    def verify(self, output, reference):
+        got, ref = output["total"], reference["total"]
+        if not (np.isfinite(got) and np.isfinite(ref)):
+            return False
+        return abs(got - ref) <= self.tol * abs(ref)
+
+    def cache_key(self):
+        return f"prov(n={self.n},tol={self.tol})"
+
+
+def _campaign_provenance(trials=12, nprocs=2, seed=11, jobs=1):
+    mem = MemorySink()
+    with obs.recording(obs.Recorder([mem])):
+        run_campaign(ProvApp(), Deployment(nprocs=nprocs, trials=trials, seed=seed),
+                     jobs=jobs)
+    return [FaultProvenance.from_event(e) for e in mem.of(TrialProvenance)]
+
+
+class TestProvenanceAssembly:
+    def test_one_record_per_trial_in_order(self):
+        records = _campaign_provenance(trials=8)
+        assert [r.trial for r in records] == list(range(8))
+
+    def test_planned_sites_match_schema(self):
+        for r in _campaign_provenance(trials=8):
+            assert len(r.planned) == 1  # single-error deployment
+            site = r.planned[0]
+            assert set(site) == {"rank", "region", "index", "operand", "bit"}
+            assert 0 <= site["bit"] < 64
+
+    def test_fired_flips_record_actual_corruption(self):
+        fired = [
+            f for r in _campaign_provenance(trials=20) for f in r.fired
+        ]
+        assert fired  # at least one activated trial at 20 trials
+        for f in fired:
+            assert f.op in ("add", "mul")
+            assert f.operand in ("A", "B", "OUT")
+            expected = f.pre
+            for bit in f.bits:
+                expected = flip_bit_scalar(expected, bit)
+            if np.isnan(expected):
+                assert np.isnan(f.post)
+            else:
+                assert f.post == expected
+
+    def test_timeline_starts_at_injected_rank(self):
+        for r in _campaign_provenance(trials=20):
+            if not r.fired or len(r.spread_ranks) < 2:
+                continue
+            assert r.spread_ranks[0] == r.fired[0].rank
+            steps = [step for step, _ in r.timeline]
+            assert steps == sorted(steps)  # contamination marches forward
+
+    def test_outcome_matches_trial_record(self):
+        records = _campaign_provenance(trials=8)
+        assert all(r.outcome in ("success", "sdc", "failure") for r in records)
+        assert all(r.n_contaminated <= 2 for r in records)
+
+    def test_round_trip_through_event(self):
+        for r in _campaign_provenance(trials=6):
+            assert FaultProvenance.from_event(r.to_event()) == r
+
+
+class TestProvenanceParallelParity:
+    def test_memory_events_identical_across_jobs(self):
+        serial = _campaign_provenance(trials=10, jobs=1)
+        parallel = _campaign_provenance(trials=10, jobs=2)
+        assert serial == parallel
+
+
+class TestProvenanceFile:
+    def test_path_derivation(self, tmp_path):
+        assert provenance_path("run.jsonl").name == "run.provenance.jsonl"
+        assert provenance_path(tmp_path / "a.b.jsonl").name == "a.b.provenance.jsonl"
+
+    def _run_traced(self, tmp_path, jobs, tag):
+        trace = tmp_path / f"{tag}.jsonl"
+        previous = obs.get_recorder()
+        rec = obs.configure(trace_path=trace)
+        try:
+            run_campaign(
+                ProvApp(), Deployment(nprocs=2, trials=10, seed=5), jobs=jobs
+            )
+        finally:
+            rec.close()
+            obs.set_recorder(previous)
+        return trace
+
+    def test_provenance_file_bit_identical_across_jobs(self, tmp_path):
+        serial = self._run_traced(tmp_path, 1, "serial")
+        parallel = self._run_traced(tmp_path, 2, "parallel")
+        ser_bytes = provenance_path(serial).read_bytes()
+        par_bytes = provenance_path(parallel).read_bytes()
+        assert ser_bytes and ser_bytes == par_bytes
+
+    def test_provenance_routed_away_from_main_trace(self, tmp_path):
+        trace = self._run_traced(tmp_path, 1, "routed")
+        assert '"trial_provenance"' not in trace.read_text()
+        records = load_provenance(provenance_path(trace))
+        assert [r.trial for r in records] == list(range(10))
+        # deterministic file: no wall-clock stamps
+        assert '"ts"' not in provenance_path(trace).read_text()
+
+    def test_load_provenance_skips_partial_lines(self, tmp_path):
+        trace = self._run_traced(tmp_path, 1, "partial")
+        prov = provenance_path(trace)
+        with prov.open("a") as fh:
+            fh.write('{"type": "trial_prov')
+        messages = []
+        records = load_provenance(prov, on_skip=messages.append)
+        assert len(records) == 10
+        assert len(messages) == 1
+
+
+class TestFlipObservation:
+    def test_payload_round_trip(self):
+        f = FlipObservation(rank=1, region="common", op="mul", index=42,
+                            operand="OUT", bits=(3, 17), pre=1.5, post=-2.25)
+        assert FlipObservation.from_payload(f.to_payload()) == f
