@@ -9,6 +9,11 @@ benchmark *asserts* a >= 1.8x speedup at ``jobs=4``; on smaller machines
 the speedup is recorded but not enforced — worker processes cannot beat
 the clock without cores to run on.
 
+The same deployment also runs once with crash-safe checkpointing at the
+default interval (``repro.engine.DEFAULT_CHECKPOINT_EVERY``); outside
+``--quick`` mode the benchmark asserts the durability tax stays under
+5% of serial wall-clock.
+
 Usage::
 
     python benchmarks/bench_campaign.py                # full: 200 trials
@@ -30,13 +35,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 REQUIRED_SPEEDUP = 1.8
 ASSERT_MIN_CPUS = 4
+MAX_CHECKPOINT_OVERHEAD = 0.05  # durable progress must cost < 5% serial
 
 
-def _time_campaign(app, deployment, jobs: int) -> tuple[float, dict]:
+def _time_campaign(
+    app, deployment, jobs: int, checkpoint_every: int | None = None
+) -> tuple[float, dict]:
     from repro.fi.campaign import run_campaign
 
     t0 = time.perf_counter()
-    result = run_campaign(app, deployment, jobs=jobs)
+    result = run_campaign(
+        app, deployment, jobs=jobs, checkpoint_every=checkpoint_every
+    )
     return time.perf_counter() - t0, result.joint
 
 
@@ -83,6 +93,18 @@ def main(argv: list[str] | None = None) -> int:
               f"speedup {speedups[jobs]:.2f}x  parity "
               f"{'ok' if parity_ok else 'BROKEN'}")
 
+    from repro.engine import DEFAULT_CHECKPOINT_EVERY
+
+    ckpt_time, ckpt_joint = _time_campaign(
+        app, deployment, jobs=1, checkpoint_every=DEFAULT_CHECKPOINT_EVERY
+    )
+    if ckpt_joint != serial_joint or list(ckpt_joint) != list(serial_joint):
+        parity_ok = False
+    ckpt_overhead = ckpt_time / serial_time - 1.0
+    print(f"  jobs=1 --checkpoint-every {DEFAULT_CHECKPOINT_EVERY}  "
+          f"{ckpt_time:7.2f}s  overhead {100 * ckpt_overhead:+.1f}%  parity "
+          f"{'ok' if parity_ok else 'BROKEN'}")
+
     record = {
         "bench": "campaign",
         "app": "cg",
@@ -94,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "times_s": {str(j): round(t, 4) for j, t in times.items()},
         "speedup": {str(j): round(s, 3) for j, s in speedups.items()},
+        "checkpoint": {
+            "every": DEFAULT_CHECKPOINT_EVERY,
+            "time_s": round(ckpt_time, 4),
+            "overhead": round(ckpt_overhead, 4),
+        },
         "parity_ok": parity_ok,
     }
     out = Path(args.out)
@@ -112,6 +139,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not enforce and not args.quick:
         print(f"  (speedup assertion skipped: {cpus} < {ASSERT_MIN_CPUS} cores)")
+    if not args.quick and ckpt_overhead > MAX_CHECKPOINT_OVERHEAD:
+        print(f"FAIL: checkpointing overhead {100 * ckpt_overhead:.1f}% > "
+              f"{100 * MAX_CHECKPOINT_OVERHEAD:.0f}% at the default "
+              f"interval ({DEFAULT_CHECKPOINT_EVERY} trials)", file=sys.stderr)
+        return 1
     return 0
 
 

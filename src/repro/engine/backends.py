@@ -1,0 +1,143 @@
+"""Execution backends: where a campaign's chunks actually run.
+
+A :class:`Backend` turns a list of chunk bounds into a stream of
+:class:`~repro.engine.chunks.ChunkPayload` objects.  The contract is
+deliberately small — it is the seam a future multi-host backend (SSH
+fan-out, a batch scheduler, MPI itself) drops into:
+
+* payloads may arrive in **any order** (the driver's aggregator folds
+  them deterministically; the checkpoint store persists them as they
+  land);
+* every chunk handed in must either be yielded exactly once or cause an
+  exception — a backend never silently drops work;
+* ``live_events`` declares whether the backend already streamed the
+  chunks' observability events to the process-wide sinks while running
+  (inline execution does; transported payloads have their events
+  buffered in ``ChunkPayload.obs`` for the driver to re-emit).
+
+Two implementations ship: :class:`InlineBackend` (the classic
+in-process loop) and :class:`ProcessPoolBackend` (a spawn-safe
+``ProcessPoolExecutor``, migrated here from the original
+``repro.fi.parallel`` module).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterator, Protocol, Sequence
+
+from repro.engine.chunks import ChunkPayload, EngineContext, execute_chunk
+from repro.errors import WorkerCrashError
+from repro.obs import get_recorder
+
+__all__ = ["Backend", "InlineBackend", "ProcessPoolBackend"]
+
+Bounds = tuple[int, int]
+
+
+class Backend(Protocol):
+    """Executes chunks of trials; the engine's pluggable seam."""
+
+    #: True when events were already emitted to the live sinks while the
+    #: chunk ran (the driver then absorbs aggregates without re-emitting).
+    live_events: bool
+
+    def run(
+        self, ctx: EngineContext, chunks: Sequence[Bounds]
+    ) -> Iterator[ChunkPayload]:
+        """Yield one payload per chunk, in any order."""
+        ...
+
+
+class InlineBackend:
+    """Run chunks in-process, in order — the classic serial loop.
+
+    With ``capture=False`` (the default) trials record straight into the
+    process-wide recorder and the payload carries no snapshot: exactly
+    the pre-engine serial path.  ``capture=True`` buffers each chunk's
+    observability state for the checkpoint store while teeing events to
+    the live sinks, so progress lines and traces behave identically.
+    """
+
+    live_events = True
+
+    def __init__(self, capture: bool = False):
+        self.capture = capture
+
+    def run(
+        self, ctx: EngineContext, chunks: Sequence[Bounds]
+    ) -> Iterator[ChunkPayload]:
+        live_sinks = tuple(get_recorder().sinks) if self.capture else ()
+        for start, stop in chunks:
+            yield execute_chunk(
+                ctx, start, stop, capture=self.capture, live_sinks=live_sinks
+            )
+
+
+#: Per-worker campaign state, installed once by :func:`_init_worker`.
+_WORKER_CTX: list[EngineContext] = []
+
+
+def _init_worker(ctx: EngineContext) -> None:
+    """Pool initializer: receives the campaign state pickled once."""
+    _WORKER_CTX[:] = [ctx]
+
+
+def _run_chunk(bounds: Bounds) -> ChunkPayload:
+    """Execute one chunk inside a worker process."""
+    start, stop = bounds
+    return execute_chunk(_WORKER_CTX[0], start, stop, capture=True)
+
+
+class ProcessPoolBackend:
+    """Fan chunks out over a spawn-safe worker pool.
+
+    The expensive state — the application object, the profiled
+    instruction counts, the fault-free reference output — is pickled
+    **once per worker** (pool initializer), not per chunk.  Workers use
+    the ``spawn`` start method so the engine behaves identically on
+    Linux, macOS and Windows and never inherits dirty interpreter state.
+
+    Payloads are yielded in completion order so the driver can persist
+    durable progress the moment a chunk finishes; deterministic fold
+    order is the aggregator's job.  Worker exceptions propagate
+    unchanged; a worker that dies without reporting (hard crash, OOM
+    kill) raises :class:`~repro.errors.WorkerCrashError` naming the
+    first unfinished chunk's trial range instead of hanging.
+    """
+
+    live_events = False
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+
+    def run(
+        self, ctx: EngineContext, chunks: Sequence[Bounds]
+    ) -> Iterator[ChunkPayload]:
+        context = multiprocessing.get_context("spawn")
+        finished: set[Bounds] = set()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(ctx,),
+            ) as pool:
+                futures = [pool.submit(_run_chunk, bounds) for bounds in chunks]
+                for future in as_completed(futures):
+                    payload = future.result()
+                    finished.add(payload.bounds)
+                    yield payload
+        except BrokenProcessPool as exc:
+            lo, hi = min(b for b in chunks if b not in finished)
+            raise WorkerCrashError(
+                f"a worker process died while running {ctx.app.name!r} trials "
+                f"(hard crash or external kill before reporting its chunk); "
+                f"first unfinished chunk covers trials {lo}..{hi - 1} — rerun "
+                f"that range with jobs=1 to reproduce in-process, or rerun "
+                f"with checkpointing + resume to redo only the missing chunks",
+                chunk_start=lo,
+                chunk_stop=hi,
+            ) from exc

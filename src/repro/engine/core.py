@@ -1,0 +1,146 @@
+"""The campaign execution driver: chunks → backend → checkpoint → fold.
+
+:func:`run_trials` owns trial execution end-to-end for
+:func:`repro.fi.campaign.run_campaign`:
+
+1. plan the chunk layout (or recover the layout of an interrupted run
+   from its checkpoint manifest — the layout is pinned at first write so
+   resuming under a different ``jobs`` still re-runs exactly the missing
+   trial ranges);
+2. pick a backend — :class:`~repro.engine.backends.InlineBackend` or
+   :class:`~repro.engine.backends.ProcessPoolBackend` — and stream the
+   missing chunks through it;
+3. persist each completed chunk the moment it lands (when checkpointing
+   is on), emitting :class:`~repro.obs.CheckpointWritten`;
+4. fold everything — recovered and fresh — in deterministic chunk order
+   through one :class:`~repro.engine.aggregate.ChunkAggregator`.
+
+The determinism argument, the checkpoint format and the resume
+semantics are documented in ``docs/engine.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.aggregate import ChunkAggregator
+from repro.engine.backends import Backend, InlineBackend, ProcessPoolBackend
+from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
+from repro.engine.chunks import ChunkPayload, EngineContext, plan_chunks
+from repro.fi.outcomes import Outcome, TrialRecord
+from repro.obs import CampaignResumed, CheckpointWritten, get_recorder
+
+if TYPE_CHECKING:
+    from repro.fi.campaign import AppProtocol, Deployment
+    from repro.fi.profile import InstructionProfile
+
+__all__ = ["run_trials", "select_backend"]
+
+
+def select_backend(jobs: int, n_chunks: int, capture: bool) -> Backend:
+    """The backend for ``n_chunks`` remaining chunks at ``jobs`` workers.
+
+    A pool only pays off with workers to feed and more than one chunk to
+    balance; everything else runs inline (``capture`` = buffer chunk
+    state for the checkpoint store).
+    """
+    if jobs > 1 and n_chunks > 1:
+        return ProcessPoolBackend(jobs)
+    return InlineBackend(capture=capture)
+
+
+def run_trials(
+    app: "AppProtocol",
+    deployment: "Deployment",
+    profile: "InstructionProfile",
+    reference: dict,
+    *,
+    keep_records: bool = False,
+    jobs: int = 1,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
+) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
+    """Execute a deployment's trials; returns the merged ``(joint, records)``.
+
+    Bit-identical to the classic serial loop for any ``jobs``, any
+    ``checkpoint_every``, and any interruption-and-resume pattern in
+    between.  ``checkpoint_every=N`` persists completed chunks of at
+    most N trials as they finish; ``resume=True`` first recovers every
+    chunk a previous (interrupted) process persisted and re-runs only
+    the missing ones.  ``resume`` alone implies checkpointing at
+    :data:`~repro.engine.checkpoint.DEFAULT_CHECKPOINT_EVERY`.
+    """
+    obs = get_recorder()
+    trials = deployment.trials
+    checkpointing = checkpoint_every is not None or resume
+    interval = (
+        checkpoint_every if checkpoint_every is not None
+        else DEFAULT_CHECKPOINT_EVERY
+    )
+
+    store: CheckpointStore | None = None
+    chunks: list[tuple[int, int]] | None = None
+    recovered: list[ChunkPayload] = []
+    if checkpointing:
+        store = CheckpointStore(app, deployment, keep_records)
+        if resume:
+            loaded = store.load()
+            if loaded is not None:
+                chunks, recovered = loaded
+        else:
+            store.clear()  # a fresh run never trusts stale leftovers
+    if chunks is None:
+        chunks = plan_chunks(trials, jobs, interval if checkpointing else None)
+        if store is not None and trials > 0:
+            store.begin(trials, chunks)
+
+    done = {payload.bounds for payload in recovered}
+    missing = [bounds for bounds in chunks if bounds not in done]
+    trials_done = sum(hi - lo for lo, hi in done)
+
+    aggregator = ChunkAggregator(chunks, obs)
+    if recovered:
+        if obs.enabled:
+            obs.emit(CampaignResumed(
+                app=app.name,
+                trials_done=trials_done,
+                trials_total=trials,
+                chunks_done=len(recovered),
+                chunks_total=len(chunks),
+                path=str(store.dir),
+            ))
+        # fold in chunk order; buffered events replay so the resumed
+        # run's trace and provenance cover every trial exactly once
+        for payload in sorted(recovered, key=lambda p: p.start):
+            aggregator.add(payload)
+
+    if missing:
+        ctx = EngineContext(
+            app=app, deployment=deployment, profile=profile,
+            reference=reference, keep_records=keep_records,
+            # checkpointed chunks always capture their events: a run
+            # interrupted with obs off can then be resumed with obs ON
+            # and still replay every recovered trial into the trace
+            obs_enabled=obs.enabled or checkpointing,
+        )
+        backend = select_backend(jobs, len(missing), capture=checkpointing)
+        for payload in backend.run(ctx, missing):
+            if store is not None:
+                path, size = store.write(payload)
+                trials_done += payload.n_trials
+                if obs.enabled:
+                    obs.counter("checkpoint.writes")
+                    obs.counter("checkpoint.write_bytes", size)
+                    obs.emit(CheckpointWritten(
+                        path=str(path),
+                        chunk_start=payload.start,
+                        chunk_stop=payload.stop,
+                        trials_done=trials_done,
+                        size_bytes=size,
+                    ))
+            aggregator.add(payload, events_emitted=backend.live_events)
+
+    joint, records = aggregator.finish()
+    if store is not None:
+        store.clear()  # complete: the result cache takes over from here
+    return joint, records

@@ -48,11 +48,41 @@ class CheckerError(ReproError):
 class WorkerCrashError(ReproError):
     """A campaign worker process died without reporting a result.
 
-    Raised by the trial-parallel engine (:mod:`repro.fi.parallel`) when
-    a pool worker terminates abruptly — a hard crash, ``os._exit``, or
-    the OOM killer — rather than raising a normal (picklable) exception.
-    The campaign fails fast instead of hanging on the lost chunk.
+    Raised by the campaign engine (:mod:`repro.engine`) when a pool
+    worker terminates abruptly — a hard crash, ``os._exit``, or the OOM
+    killer — rather than raising a normal (picklable) exception.  The
+    campaign fails fast instead of hanging on the lost chunk, and the
+    message narrows the failure to the first unfinished chunk's trial
+    range (``chunk_start``/``chunk_stop``, ``[start, stop)``) so the
+    culprit can be reproduced with a single in-process trial range.
     """
+
+    def __init__(
+        self,
+        message: str,
+        chunk_start: int | None = None,
+        chunk_stop: int | None = None,
+    ):
+        super().__init__(message)
+        self.chunk_start = chunk_start
+        self.chunk_stop = chunk_stop
+
+
+class CheckpointCorruptError(ReproError):
+    """A campaign checkpoint file failed to parse or validate.
+
+    Raised by the engine's checkpoint store (:mod:`repro.engine.checkpoint`)
+    when a persisted chunk result or the checkpoint manifest is damaged —
+    external truncation, disk corruption, or a foreign file in the
+    checkpoint directory.  The offending file is deleted before raising,
+    so simply rerunning the campaign restarts cleanly (re-running only
+    the chunk whose checkpoint was lost).  ``path`` names the damaged
+    file.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
 
 
 class FaultActivatedError(ReproError):

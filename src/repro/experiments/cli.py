@@ -11,7 +11,9 @@ Besides the experiment harnesses, the CLI wires the observability layer
 
 ``--jobs N`` fans every campaign's trials over N worker processes
 (deterministic: results are bit-identical to serial; see
-docs/performance.md).
+docs/performance.md).  ``--checkpoint-every N`` makes campaign progress
+durable every N trials, and ``--resume`` restarts an interrupted run
+from its last checkpoint (see docs/engine.md).
 """
 
 from __future__ import annotations
@@ -116,6 +118,16 @@ def main(argv: list[str] | None = None) -> int:
              "Results are bit-identical for any N; see docs/performance.md",
     )
     parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="persist campaign progress every N trials; an interrupted run "
+             "can then be resumed with --resume (see docs/engine.md)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume interrupted campaigns from their checkpoints, "
+             "re-running only the missing trials",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSONL observability trace (replay with obs-report)",
     )
@@ -143,6 +155,17 @@ def main(argv: list[str] | None = None) -> int:
         # repro.fi.campaign.default_jobs), so one env write reaches every
         # deployment the experiment harnesses build.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            parser.error(
+                f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
+        # Same env-var relay as --jobs: every campaign resolves its
+        # checkpoint interval via repro.fi.campaign.default_checkpoint_every.
+        os.environ["REPRO_CHECKPOINT_EVERY"] = str(args.checkpoint_every)
+    if args.resume:
+        os.environ["REPRO_RESUME"] = "1"
 
     recorder = previous = None
     if args.trace_out or args.progress or args.metrics_summary:

@@ -7,6 +7,7 @@ construction, and assembly of :class:`PredictionInputs` for an app.
 from __future__ import annotations
 
 import os
+import sys
 
 from repro.apps import get_app
 from repro.apps.base import AppSpec
@@ -28,6 +29,7 @@ __all__ = [
     "serial_sample_results",
     "small_campaign",
     "measured_campaign",
+    "unique_campaign",
     "unique_fraction",
     "unique_fraction_stats",
     "build_predictor",
@@ -50,7 +52,16 @@ def default_trials(trials: int | None = None) -> int:
     """
     if trials is not None:
         return trials
-    return int(os.environ.get("REPRO_TRIALS", "300"))
+    raw = os.environ.get("REPRO_TRIALS", "300")
+    try:
+        return int(raw)
+    except ValueError:
+        print(
+            f"repro: warning: malformed REPRO_TRIALS={raw!r}; "
+            f"using the default of 300 trials",
+            file=sys.stderr,
+        )
+        return 300
 
 
 # ----------------------------------------------------------------------
@@ -58,7 +69,7 @@ def default_trials(trials: int | None = None) -> int:
 # ----------------------------------------------------------------------
 def serial_sample_results(
     app: AppSpec, target_nprocs: int, n_samples: int, trials: int, seed: int = 0,
-    jobs: int | None = None,
+    jobs: int | None = None, checkpoint_every: int | None = None,
 ) -> dict[int, FaultInjectionResult]:
     """FI_ser_x at the sample plan's cases (multi-error serial runs)."""
     plan = SerialSamplePlan(large_nprocs=target_nprocs, n_samples=n_samples)
@@ -67,6 +78,7 @@ def serial_sample_results(
         dep = Deployment(
             nprocs=1, trials=trials, n_errors=x, region=Region.COMMON,
             seed=seed + _SEED_SERIAL + x, jobs=jobs,
+            checkpoint_every=checkpoint_every,
         )
         out[x] = FaultInjectionResult.from_campaign(cached_campaign(app, dep))
     return out
@@ -74,36 +86,37 @@ def serial_sample_results(
 
 def small_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
-    jobs: int | None = None,
+    jobs: int | None = None, checkpoint_every: int | None = None,
 ) -> CampaignResult:
     """Single-error campaign at a small scale (propagation + alpha input)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_SMALL + nprocs,
-        jobs=jobs,
+        jobs=jobs, checkpoint_every=checkpoint_every,
     )
     return cached_campaign(app, dep)
 
 
 def measured_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
-    jobs: int | None = None,
+    jobs: int | None = None, checkpoint_every: int | None = None,
 ) -> CampaignResult:
     """Ground-truth campaign at the target scale (for accuracy figures)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_MEASURED + nprocs,
-        jobs=jobs,
+        jobs=jobs, checkpoint_every=checkpoint_every,
     )
     return cached_campaign(app, dep)
 
 
 def unique_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
-    jobs: int | None = None,
+    jobs: int | None = None, checkpoint_every: int | None = None,
 ) -> CampaignResult:
     """Campaign with every error forced into the parallel-unique region."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, region=Region.PARALLEL_UNIQUE,
         seed=seed + _SEED_UNIQUE + nprocs, jobs=jobs,
+        checkpoint_every=checkpoint_every,
     )
     return cached_campaign(app, dep)
 
@@ -156,6 +169,7 @@ def build_predictor(
     prob2_mode: str = "profile",
     unique_threshold: float = 0.02,
     jobs: int | None = None,
+    checkpoint_every: int | None = None,
 ) -> ResiliencePredictor:
     """Assemble every model input for ``app_name`` and return a predictor.
 
@@ -170,12 +184,17 @@ def build_predictor(
     n_samples = n_samples or small_nprocs
 
     serial = serial_sample_results(
-        app, target_nprocs, n_samples, trials, seed, jobs=jobs
+        app, target_nprocs, n_samples, trials, seed, jobs=jobs,
+        checkpoint_every=checkpoint_every,
     )
-    small = small_campaign(app, small_nprocs, trials, seed, jobs=jobs)
+    small = small_campaign(
+        app, small_nprocs, trials, seed, jobs=jobs,
+        checkpoint_every=checkpoint_every,
+    )
     probe_dep = Deployment(
         nprocs=1, trials=trials, n_errors=small_nprocs, region=Region.COMMON,
         seed=seed + _SEED_SERIAL + small_nprocs, jobs=jobs,
+        checkpoint_every=checkpoint_every,
     )
     probe = FaultInjectionResult.from_campaign(cached_campaign(app, probe_dep))
 
@@ -192,7 +211,10 @@ def build_predictor(
     unique_result = None
     if fractions[small_nprocs] > 0.0 and max(fractions.values()) >= unique_threshold:
         unique_result = FaultInjectionResult.from_campaign(
-            unique_campaign(app, small_nprocs, trials, seed, jobs=jobs)
+            unique_campaign(
+                app, small_nprocs, trials, seed, jobs=jobs,
+                checkpoint_every=checkpoint_every,
+            )
         )
 
     inputs = PredictionInputs(

@@ -22,7 +22,7 @@ from repro.fi.outcomes import Outcome
 from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
 
 __all__ = [
-    "cached_campaign", "cache_dir", "cache_enabled",
+    "cached_campaign", "cache_dir", "cache_enabled", "deployment_key",
     "load_unique_fraction", "load_unique_fraction_stats",
     "store_unique_fraction",
 ]
@@ -40,7 +40,15 @@ def cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
-def _deployment_key(deployment: Deployment) -> str:
+def deployment_key(deployment: Deployment) -> str:
+    """Stable identity string for a deployment's *result*.
+
+    Execution knobs that cannot change the outcome — ``jobs``,
+    ``checkpoint_every`` — are deliberately excluded: the same string
+    keys both the result cache and the engine's checkpoint store
+    (:mod:`repro.engine.checkpoint`), so a campaign interrupted under
+    one worker count can resume under another.
+    """
     key = (
         f"p={deployment.nprocs},t={deployment.trials},e={deployment.n_errors},"
         f"r={deployment.region.value if deployment.region else None},"
@@ -53,8 +61,12 @@ def _deployment_key(deployment: Deployment) -> str:
     return key
 
 
+#: Backwards-compatible alias (the helper predates the public name).
+_deployment_key = deployment_key
+
+
 def _cache_path(app: AppProtocol, deployment: Deployment) -> Path:
-    key = f"{_CACHE_VERSION}|{app.cache_key()}|{_deployment_key(deployment)}"
+    key = f"{_CACHE_VERSION}|{app.cache_key()}|{deployment_key(deployment)}"
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
     return cache_dir() / f"{app.name}-{digest}.json"
 

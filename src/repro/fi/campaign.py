@@ -12,6 +12,7 @@ raw material for every model input and every figure of the paper.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Generator, Protocol
@@ -41,7 +42,8 @@ from repro.utils.validation import check_positive_int
 
 __all__ = [
     "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
-    "default_jobs", "AppProtocol",
+    "default_jobs", "default_checkpoint_every", "default_resume",
+    "AppProtocol",
 ]
 
 
@@ -49,13 +51,47 @@ def default_jobs() -> int:
     """Worker processes per campaign: ``$REPRO_JOBS``, falling back to 1.
 
     1 means the classic in-process serial loop.  Any value produces a
-    bit-identical ``joint`` distribution (see :mod:`repro.fi.parallel`),
-    so this only trades wall-clock for cores.
+    bit-identical ``joint`` distribution (see :mod:`repro.engine`), so
+    this only trades wall-clock for cores.
     """
     try:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def default_checkpoint_every() -> int | None:
+    """Checkpoint interval: ``$REPRO_CHECKPOINT_EVERY`` trials, else off.
+
+    None disables checkpointing (the classic fire-and-forget campaign).
+    A malformed or non-positive value warns once on stderr and leaves
+    checkpointing off rather than aborting an otherwise valid run.
+    """
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY")
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        print(
+            f"repro: warning: malformed REPRO_CHECKPOINT_EVERY={raw!r}; "
+            f"checkpointing disabled",
+            file=sys.stderr,
+        )
+        return None
+    if value < 1:
+        print(
+            f"repro: warning: REPRO_CHECKPOINT_EVERY={value} is not "
+            f"positive; checkpointing disabled",
+            file=sys.stderr,
+        )
+        return None
+    return value
+
+
+def default_resume() -> bool:
+    """Resume from checkpoints by default? (``$REPRO_RESUME``, off unless set)."""
+    return os.environ.get("REPRO_RESUME", "0").lower() not in ("0", "", "false", "no")
 
 
 class AppProtocol(Protocol):
@@ -89,6 +125,8 @@ class Deployment:
     max_steps: int | None = None        # scheduler runaway guard
     bits_per_error: int = 1             # >1 = multi-bit fault pattern
     jobs: int | None = None             # worker processes; None = $REPRO_JOBS
+    checkpoint_every: int | None = None  # trials per durable checkpoint;
+                                         # None = $REPRO_CHECKPOINT_EVERY
 
     def __post_init__(self) -> None:
         check_positive_int(self.nprocs, "nprocs")
@@ -97,6 +135,8 @@ class Deployment:
         check_positive_int(self.bits_per_error, "bits_per_error")
         if self.jobs is not None:
             check_positive_int(self.jobs, "jobs")
+        if self.checkpoint_every is not None:
+            check_positive_int(self.checkpoint_every, "checkpoint_every")
         if self.n_errors > 1 and self.target_rank is None and self.nprocs > 1:
             raise ConfigurationError(
                 "multi-error deployments on parallel executions must pin target_rank"
@@ -260,27 +300,47 @@ def _resolve_jobs(jobs: int | None, deployment: Deployment) -> int:
     return check_positive_int(jobs, "jobs")
 
 
+def _resolve_checkpoint_every(
+    checkpoint_every: int | None, deployment: Deployment
+) -> int | None:
+    """Checkpoint interval precedence: call arg > deployment > env > off."""
+    if checkpoint_every is None:
+        checkpoint_every = deployment.checkpoint_every
+    if checkpoint_every is None:
+        return default_checkpoint_every()
+    return check_positive_int(checkpoint_every, "checkpoint_every")
+
+
 def run_campaign(
     app: AppProtocol,
     deployment: Deployment,
     keep_records: bool = False,
     jobs: int | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool | None = None,
 ) -> CampaignResult:
     """Run a full fault-injection deployment for ``app``.
 
     A fault-free profiling pass first records the reference output and
-    the per-rank dynamic-instruction profile; each trial then samples an
-    injection plan from the profile and re-executes the application with
-    the tracer armed.  Crashes (:class:`FaultActivatedError`), hangs
-    (deadlocks) and communicator breakdown caused by fault-perturbed
-    control flow are classified as ``FAILURE``.
+    the per-rank dynamic-instruction profile; trial execution is then
+    handed to the campaign engine (:mod:`repro.engine`), which samples
+    an injection plan per trial from the profile and re-executes the
+    application with the tracer armed.  Crashes
+    (:class:`FaultActivatedError`), hangs (deadlocks) and communicator
+    breakdown caused by fault-perturbed control flow are classified as
+    ``FAILURE``.
 
-    ``jobs`` > 1 fans the trials out over a spawn-safe worker pool
-    (:mod:`repro.fi.parallel`); the result — including the ``joint``
-    distribution the disk cache persists — is bit-identical to the
-    serial path for any worker count.
+    ``jobs`` > 1 fans the trials out over a spawn-safe worker pool; the
+    result — including the ``joint`` distribution the disk cache
+    persists — is bit-identical to the serial path for any worker
+    count.  ``checkpoint_every=N`` persists completed trial chunks as
+    they finish, and ``resume=True`` recovers an interrupted campaign's
+    durable chunks and re-runs only the missing ones — still
+    bit-identical to an uninterrupted serial run (see ``docs/engine.md``).
     """
     n_jobs = _resolve_jobs(jobs, deployment)
+    ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
+    do_resume = default_resume() if resume is None else resume
     obs = get_recorder()
     obs.emit(CampaignStarted(
         app=app.name, nprocs=deployment.nprocs, trials=deployment.trials,
@@ -301,25 +361,14 @@ def run_campaign(
         profile_time = time.perf_counter() - t0
 
         t1 = time.perf_counter()
-        if n_jobs > 1 and deployment.trials > 1:
-            # imported lazily: parallel.py imports this module in turn
-            from repro.fi.parallel import run_trials_parallel
+        # imported lazily: the engine imports this module in turn
+        from repro.engine import run_trials
 
-            joint, records = run_trials_parallel(
-                app, deployment, profile, reference,
-                keep_records=keep_records, jobs=n_jobs,
-            )
-        else:
-            joint = {}
-            records = []
-            for trial in range(deployment.trials):
-                record = run_one_trial(
-                    app, deployment, profile, reference, trial, obs
-                )
-                key = (record.outcome, record.n_contaminated, record.activated)
-                joint[key] = joint.get(key, 0) + 1
-                if keep_records:
-                    records.append(record)
+        joint, records = run_trials(
+            app, deployment, profile, reference,
+            keep_records=keep_records, jobs=n_jobs,
+            checkpoint_every=ckpt_every, resume=do_resume,
+        )
         injection_time = time.perf_counter() - t1
 
     result = CampaignResult(

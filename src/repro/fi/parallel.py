@@ -1,143 +1,26 @@
-"""Trial-parallel campaign execution over a deterministic worker pool.
+"""Deprecated shim: trial-parallel execution moved to :mod:`repro.engine`.
 
-A fault-injection deployment is embarrassingly parallel: every trial's
-decisions derive only from ``(seed, trial_index)`` (see
-:func:`repro.utils.rng.trial_seed`), so trials partition freely across
-processes.  This module fans a campaign's trials out over a spawn-safe
-:class:`~concurrent.futures.ProcessPoolExecutor` while guaranteeing that
-``run_campaign(..., jobs=N)`` is **bit-identical** to the serial path
-for any ``N`` — the disk cache (:mod:`repro.fi.cache`) and every
-``results/*.txt`` regression depend on that.
-
-How determinism is preserved
-----------------------------
-* each trial is executed by :func:`repro.fi.campaign.run_one_trial`,
-  the exact function the serial loop runs, seeded by trial index;
-* trials are partitioned into contiguous chunks and results are merged
-  **in chunk order** (``Executor.map`` keeps submission order), so the
-  ``joint`` dict is built with the same insertion order as the serial
-  loop, and ``records`` / re-emitted events keep global trial order;
-* chunk boundaries affect only scheduling, never any per-trial random
-  stream.
-
-Cost model
-----------
-The expensive state — the application object, the profiled instruction
-counts, and the fault-free reference output — is pickled **once per
-worker** (pool ``initializer``), not per trial.  Each chunk returns a
-compact ``(joint-delta, records, obs-snapshot)`` payload.  Workers use
-the ``spawn`` start method so the engine behaves identically on Linux,
-macOS and Windows and never inherits dirty interpreter state.
-
-Observability (:mod:`repro.obs`) keeps working under parallel execution:
-when the parent's recorder is enabled, each worker records counters,
-histograms and spans into a chunk-local recorder (span paths prefixed
-with ``campaign`` so they match serial runs) and buffers its typed
-events in a :class:`~repro.obs.MemorySink`; the parent absorbs each
-chunk's :class:`~repro.obs.ObsSnapshot` as it arrives, re-emitting
-``TrialFinished`` / ``FaultInjected`` / ``SpanEnd`` events so
-``--progress``, ``--metrics-summary`` and ``obs-report`` see every
-trial exactly once.
+This module once carried its own worker pool and chunk-merge loop; both
+now live in the campaign engine — the pool in
+:class:`repro.engine.backends.ProcessPoolBackend`, the (single) fold in
+:class:`repro.engine.aggregate.ChunkAggregator`, and chunk planning in
+:mod:`repro.engine.chunks`.  The names below are re-exported so
+existing imports keep working; new code should import from
+:mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import WorkerCrashError
+from repro.engine.chunks import MAX_CHUNK_TRIALS, chunk_bounds
 from repro.fi.outcomes import Outcome, TrialRecord
-from repro.obs import MemorySink, ObsSnapshot, Recorder, get_recorder, recording
 
-if TYPE_CHECKING:  # circular at runtime: campaign dispatches into here
+if TYPE_CHECKING:  # circular at runtime: campaign dispatches into the engine
     from repro.fi.campaign import AppProtocol, Deployment
     from repro.fi.profile import InstructionProfile
 
-__all__ = ["run_trials_parallel", "chunk_bounds"]
-
-#: Upper bound on trials per chunk: small enough that progress events
-#: flow and stragglers rebalance, large enough to amortize task overhead.
-MAX_CHUNK_TRIALS = 50
-
-
-def chunk_bounds(trials: int, jobs: int) -> list[tuple[int, int]]:
-    """Contiguous ``[start, stop)`` chunks covering ``range(trials)``.
-
-    Aims for ~4 chunks per worker (dynamic load balancing without
-    flooding the queue), capped at :data:`MAX_CHUNK_TRIALS`.  Chunking
-    influences scheduling only — results are chunk-invariant.
-    """
-    if trials <= 0:
-        return []
-    size = max(1, min(MAX_CHUNK_TRIALS, math.ceil(trials / (4 * jobs))))
-    return [(lo, min(lo + size, trials)) for lo in range(0, trials, size)]
-
-
-@dataclass
-class _ChunkResult:
-    """One chunk's compact payload shipped back to the parent."""
-
-    start: int
-    joint: dict[tuple[Outcome, int, bool], int]
-    records: list[TrialRecord]
-    obs: ObsSnapshot | None
-
-
-#: Per-worker campaign state, installed once by :func:`_init_worker`.
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(
-    app: "AppProtocol",
-    deployment: "Deployment",
-    profile: "InstructionProfile",
-    reference: dict,
-    keep_records: bool,
-    obs_enabled: bool,
-) -> None:
-    """Pool initializer: receives the campaign state pickled once."""
-    _WORKER_STATE.update(
-        app=app,
-        deployment=deployment,
-        profile=profile,
-        reference=reference,
-        keep_records=keep_records,
-        obs_enabled=obs_enabled,
-    )
-
-
-def _run_chunk(bounds: tuple[int, int]) -> _ChunkResult:
-    """Execute trials ``[start, stop)`` inside a worker process."""
-    from repro.fi.campaign import run_one_trial
-
-    start, stop = bounds
-    state = _WORKER_STATE
-    mem: MemorySink | None = None
-    if state["obs_enabled"]:
-        mem = MemorySink()
-        # span_prefix keeps worker span paths ("campaign/trial/...")
-        # identical to the serial loop running inside the parent's span.
-        rec = Recorder([mem], span_prefix=("campaign",))
-    else:
-        rec = Recorder(enabled=False)
-    joint: dict[tuple[Outcome, int, bool], int] = {}
-    records: list[TrialRecord] = []
-    with recording(rec):
-        for trial in range(start, stop):
-            record = run_one_trial(
-                state["app"], state["deployment"], state["profile"],
-                state["reference"], trial, rec,
-            )
-            key = (record.outcome, record.n_contaminated, record.activated)
-            joint[key] = joint.get(key, 0) + 1
-            if state["keep_records"]:
-                records.append(record)
-    snapshot = rec.snapshot(events=mem.events) if mem is not None else None
-    return _ChunkResult(start=start, joint=joint, records=records, obs=snapshot)
+__all__ = ["run_trials_parallel", "chunk_bounds", "MAX_CHUNK_TRIALS"]
 
 
 def run_trials_parallel(
@@ -151,36 +34,12 @@ def run_trials_parallel(
 ) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
     """Fan ``deployment.trials`` out over ``jobs`` worker processes.
 
-    Returns the merged ``(joint, records)`` exactly as the serial loop
-    would have produced them.  Worker exceptions propagate unchanged; a
-    worker that dies without reporting (hard crash, OOM kill) raises
-    :class:`~repro.errors.WorkerCrashError` instead of hanging.
+    Kept for backwards compatibility; delegates to
+    :func:`repro.engine.run_trials` (no checkpointing).
     """
-    obs = get_recorder()
-    chunks = chunk_bounds(deployment.trials, jobs)
-    joint: dict[tuple[Outcome, int, bool], int] = {}
-    records: list[TrialRecord] = []
-    context = multiprocessing.get_context("spawn")
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks)),
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(app, deployment, profile, reference,
-                      keep_records, obs.enabled),
-        ) as pool:
-            # Executor.map yields in submission order: the merge below is
-            # serial-identical no matter which worker finished first.
-            for chunk in pool.map(_run_chunk, chunks):
-                for key, count in chunk.joint.items():
-                    joint[key] = joint.get(key, 0) + count
-                records.extend(chunk.records)
-                if chunk.obs is not None:
-                    obs.absorb(chunk.obs)
-    except BrokenProcessPool as exc:
-        raise WorkerCrashError(
-            f"a worker process died while running {app.name!r} trials "
-            f"(hard crash or external kill before reporting its chunk); "
-            f"rerun with jobs=1 to reproduce the failing trial in-process"
-        ) from exc
-    return joint, records
+    from repro.engine import run_trials
+
+    return run_trials(
+        app, deployment, profile, reference,
+        keep_records=keep_records, jobs=jobs,
+    )

@@ -35,7 +35,9 @@ from repro.obs.events import (
     CacheMiss,
     CacheWrite,
     CampaignFinished,
+    CampaignResumed,
     CampaignStarted,
+    CheckpointWritten,
     Event,
     FaultInjected,
     SchedulerDeadlock,
@@ -68,7 +70,8 @@ __all__ = [
     # sinks
     "Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace",
     # events
-    "Event", "CampaignStarted", "CampaignFinished", "TrialFinished",
+    "Event", "CampaignStarted", "CampaignFinished", "CampaignResumed",
+    "CheckpointWritten", "TrialFinished",
     "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
     "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
     # provenance

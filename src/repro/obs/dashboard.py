@@ -24,7 +24,9 @@ import numpy as np
 from repro.numerics.bits import bit_width
 from repro.obs.confidence import wilson_interval
 from repro.obs.events import (
+    CampaignResumed,
     CampaignStarted,
+    CheckpointWritten,
     Event,
     SpanEnd,
     TrialFinished,
@@ -148,6 +150,33 @@ def _spread_section(records: list[FaultProvenance]) -> str:
     return svg
 
 
+def _checkpoint_section(events: list[Event]) -> str | None:
+    """Checkpoint/resume summary; None when the run never checkpointed."""
+    writes = [e for e in events if isinstance(e, CheckpointWritten)]
+    resumes = [e for e in events if isinstance(e, CampaignResumed)]
+    if not writes and not resumes:
+        return None
+    parts = []
+    if resumes:
+        rows = [
+            (e.app, f"{e.trials_done}/{e.trials_total}",
+             f"{e.chunks_done}/{e.chunks_total}", e.path)
+            for e in resumes
+        ]
+        parts.append(_html_table(
+            ["resumed app", "trials recovered", "chunks recovered", "store"],
+            rows,
+        ))
+    if writes:
+        total_bytes = sum(e.size_bytes for e in writes)
+        parts.append(
+            f"<p class='meta'>{len(writes)} chunk checkpoints written "
+            f"({total_bytes} bytes); {max(e.trials_done for e in writes)} "
+            f"trials durable at the last write.</p>"
+        )
+    return "\n".join(parts)
+
+
 def _phase_section(events: list[Event]) -> str:
     totals: dict[str, list[float]] = {}
     for e in events:
@@ -198,6 +227,9 @@ def render_dashboard(
         ("Contamination spread", _spread_section(records)),
         ("Phase timing", _phase_section(events)),
     ]
+    checkpoints = _checkpoint_section(events)
+    if checkpoints is not None:
+        sections.append(("Checkpoint / resume", checkpoints))
     body = "\n".join(
         f"<section><h2>{_esc(title)}</h2>\n{content}</section>"
         for title, content in sections

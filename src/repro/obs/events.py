@@ -17,6 +17,8 @@ __all__ = [
     "Event",
     "CampaignStarted",
     "CampaignFinished",
+    "CampaignResumed",
+    "CheckpointWritten",
     "TrialFinished",
     "FaultInjected",
     "TrialProvenance",
@@ -68,6 +70,40 @@ class CampaignFinished(Event):
     failure_rate: float
     profile_time: float
     injection_time: float
+
+
+@dataclass(frozen=True)
+class CampaignResumed(Event):
+    """A deployment picked up from a crash-safe checkpoint.
+
+    Emitted by the engine (:mod:`repro.engine`) right after
+    ``CampaignStarted`` when completed-chunk results were recovered from
+    a previous, interrupted process; the recovered trials' events are
+    replayed to the sinks immediately after, so traces and progress see
+    every trial exactly once.
+    """
+
+    type: ClassVar[str] = "campaign_resumed"
+
+    app: str
+    trials_done: int      # trials recovered from the checkpoint
+    trials_total: int
+    chunks_done: int
+    chunks_total: int
+    path: str             # checkpoint directory
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    """One completed chunk's results were durably persisted."""
+
+    type: ClassVar[str] = "checkpoint_written"
+
+    path: str             # chunk file
+    chunk_start: int      # [start, stop) trial range of the chunk
+    chunk_stop: int
+    trials_done: int      # cumulative trials checkpointed so far
+    size_bytes: int
 
 
 @dataclass(frozen=True)
@@ -188,9 +224,9 @@ class SpanEnd(Event):
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
     for cls in (
-        CampaignStarted, CampaignFinished, TrialFinished, FaultInjected,
-        TrialProvenance, CacheHit, CacheMiss, CacheWrite, CacheCorrupt,
-        SchedulerDeadlock, SpanEnd,
+        CampaignStarted, CampaignFinished, CampaignResumed, CheckpointWritten,
+        TrialFinished, FaultInjected, TrialProvenance, CacheHit, CacheMiss,
+        CacheWrite, CacheCorrupt, SchedulerDeadlock, SpanEnd,
     )
 }
 

@@ -14,12 +14,24 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.obs.confidence import wilson_interval
-from repro.obs.events import Event, SpanEnd, TrialFinished
+from repro.obs.events import (
+    CampaignResumed,
+    CheckpointWritten,
+    Event,
+    SpanEnd,
+    TrialFinished,
+)
 from repro.obs.recorder import Recorder
 from repro.obs.sinks import load_trace
 from repro.utils.tables import format_table
 
-__all__ = ["phase_table", "outcome_counts", "render_trace_report", "render_metrics_summary"]
+__all__ = [
+    "phase_table",
+    "outcome_counts",
+    "checkpoint_summary",
+    "render_trace_report",
+    "render_metrics_summary",
+]
 
 
 def _aggregate_spans(events: Iterable[Event]) -> dict[str, list[float]]:
@@ -55,6 +67,27 @@ def outcome_counts(events: Iterable[Event]) -> dict[str, int]:
     return out
 
 
+def checkpoint_summary(events: Iterable[Event]) -> str | None:
+    """Checkpoint/resume table, or None when the trace has neither."""
+    writes = [e for e in events if isinstance(e, CheckpointWritten)]
+    resumes = [e for e in events if isinstance(e, CampaignResumed)]
+    if not writes and not resumes:
+        return None
+    rows: list[tuple] = [
+        ("chunks checkpointed", len(writes)),
+        ("bytes written", sum(e.size_bytes for e in writes)),
+    ]
+    if writes:
+        rows.append(("trials made durable", max(e.trials_done for e in writes)))
+    for e in resumes:
+        rows.append((
+            f"resumed {e.app}",
+            f"{e.trials_done}/{e.trials_total} trials recovered "
+            f"({e.chunks_done}/{e.chunks_total} chunks)",
+        ))
+    return format_table(["checkpointing", "value"], rows, title="Checkpointing")
+
+
 def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
     events = load_trace(path, on_skip=on_skip)
@@ -75,6 +108,9 @@ def render_trace_report(path: str | Path, on_skip=None) -> str:
                 title=f"Trial outcomes ({n} trials)",
             )
         )
+    checkpoints = checkpoint_summary(events)
+    if checkpoints is not None:
+        sections.append(checkpoints)
     if not events:
         sections.append(f"(trace {path} contains no known events)")
     return "\n\n".join(sections)

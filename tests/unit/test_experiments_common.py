@@ -21,6 +21,38 @@ from repro.taint.region import Region
 TRIALS = 10
 
 
+class TestDefaultTrials:
+    def test_arg_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "50")
+        assert common.default_trials(7) == 7
+
+    def test_env_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "42")
+        assert common.default_trials() == 42
+
+    def test_malformed_env_falls_back_with_warning(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRIALS", "lots")
+        assert common.default_trials() == 300
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one warning line
+        assert "REPRO_TRIALS" in err and "'lots'" in err and "300" in err
+
+    def test_well_formed_env_warns_nothing(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRIALS", "25")
+        common.default_trials()
+        assert capsys.readouterr().err == ""
+
+
+class TestPublicSurface:
+    def test_unique_campaign_exported(self):
+        assert "unique_campaign" in common.__all__
+
+    def test_every_all_name_resolves(self):
+        # a stale __all__ entry would break `from ... import *` for users
+        for name in common.__all__:
+            assert callable(getattr(common, name)), name
+
+
 class TestCampaignBuilders:
     def test_seed_roles_are_independent(self):
         app = get_app("mg")
