@@ -3,7 +3,7 @@
 PYTHON ?= python
 TRIALS ?= 300
 
-.PHONY: install test bench bench-smoke experiments report obs-demo clean-cache loc
+.PHONY: install test coverage bench bench-smoke experiments report obs-demo clean-cache loc
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,6 +13,14 @@ test:
 
 test-fast:
 	REPRO_TRIALS=20 $(PYTHON) -m pytest tests/ -x
+
+# Line coverage with the checked-in floor (.coverage-floor); requires
+# pytest-cov.  CI runs this and publishes htmlcov/ as an artifact.
+coverage:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) -m pytest tests/ -q \
+		--cov=repro --cov-report=term --cov-report=html \
+		--cov-fail-under=$$(cat .coverage-floor)
 
 bench:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only

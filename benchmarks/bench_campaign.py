@@ -14,6 +14,12 @@ default interval (``repro.engine.DEFAULT_CHECKPOINT_EVERY``); outside
 ``--quick`` mode the benchmark asserts the durability tax stays under
 5% of serial wall-clock.
 
+An adaptive (``ci_halfwidth``) MG campaign then runs against the
+fixed-N worst-case budget for the same ±0.08 precision target; the
+benchmark asserts it converges with >= 25% fewer trials (deterministic,
+enforced in ``--quick`` mode too) and, outside ``--quick`` mode, that
+``jobs=2`` reproduces the serial adaptive run bit-for-bit.
+
 Usage::
 
     python benchmarks/bench_campaign.py                # full: 200 trials
@@ -37,6 +43,13 @@ REQUIRED_SPEEDUP = 1.8
 ASSERT_MIN_CPUS = 4
 MAX_CHECKPOINT_OVERHEAD = 0.05  # durable progress must cost < 5% serial
 
+# Adaptive stopping must beat the fixed-N worst-case budget by >= 25%
+# at the same precision target on a skewed deployment (MG's outcome
+# rates are far from 1/2, the regime the paper's campaigns live in).
+# Deterministic — asserted in --quick mode too.
+ADAPTIVE_TARGET = 0.08
+MIN_ADAPTIVE_SAVINGS = 0.25
+
 
 def _time_campaign(
     app, deployment, jobs: int, checkpoint_every: int | None = None
@@ -48,6 +61,82 @@ def _time_campaign(
         app, deployment, jobs=jobs, checkpoint_every=checkpoint_every
     )
     return time.perf_counter() - t0, result.joint
+
+
+def _time_adaptive(app, deployment, jobs: int) -> tuple[float, dict, object]:
+    """Run one adaptive campaign; returns (wall, joint, CampaignConverged)."""
+    from repro.fi.campaign import run_campaign
+    from repro.obs import MemorySink, Recorder, recording
+    from repro.obs.events import CampaignConverged
+
+    mem = MemorySink()
+    with recording(Recorder([mem])):
+        t0 = time.perf_counter()
+        result = run_campaign(app, deployment, jobs=jobs)
+        wall = time.perf_counter() - t0
+    (converged,) = mem.of(CampaignConverged)
+    return wall, result.joint, converged
+
+
+def _bench_adaptive(quick: bool) -> tuple[dict, bool]:
+    """The precision-targeted campaign vs its fixed-N worst-case budget."""
+    from repro.apps import get_app
+    from repro.engine import worst_case_trials
+    from repro.fi.campaign import Deployment
+
+    app = get_app("mg")
+    cap = worst_case_trials(ADAPTIVE_TARGET)
+    deployment = Deployment(
+        nprocs=4, trials=cap, seed=123, ci_halfwidth=ADAPTIVE_TARGET
+    )
+    print(f"bench_adaptive: app=mg nprocs=4 target=±{ADAPTIVE_TARGET} "
+          f"cap={cap} (fixed-N worst-case budget)")
+
+    wall, joint, conv = _time_adaptive(app, deployment, jobs=1)
+    savings = 1.0 - conv.trials_used / cap
+    print(f"  jobs=1  {wall:7.2f}s  trials {conv.trials_used}/{cap} "
+          f"in {conv.waves} wave(s)  savings {100 * savings:.0f}%  "
+          f"worst ±{max(conv.halfwidths.values()):.4f}")
+
+    parity_ok = True
+    if not quick:
+        wall2, joint2, conv2 = _time_adaptive(app, deployment, jobs=2)
+        parity_ok = (
+            joint2 == joint and list(joint2) == list(joint)
+            and conv2.trials_used == conv.trials_used
+        )
+        print(f"  jobs=2  {wall2:7.2f}s  trials {conv2.trials_used}/{cap}  "
+              f"parity {'ok' if parity_ok else 'BROKEN'}")
+
+    ok = parity_ok
+    if not conv.converged or max(conv.halfwidths.values()) > ADAPTIVE_TARGET:
+        print(f"FAIL: adaptive campaign missed its ±{ADAPTIVE_TARGET} target",
+              file=sys.stderr)
+        ok = False
+    if savings < MIN_ADAPTIVE_SAVINGS:
+        print(f"FAIL: adaptive stopping saved only {100 * savings:.0f}% of "
+              f"the fixed-N budget ({conv.trials_used}/{cap} trials), "
+              f"expected >= {100 * MIN_ADAPTIVE_SAVINGS:.0f}%",
+              file=sys.stderr)
+        ok = False
+    if not parity_ok:
+        print("FAIL: adaptive jobs=2 diverged from serial", file=sys.stderr)
+    record = {
+        "app": "mg",
+        "nprocs": 4,
+        "target_halfwidth": ADAPTIVE_TARGET,
+        "trials_cap": cap,
+        "trials_used": conv.trials_used,
+        "waves": conv.waves,
+        "savings": round(savings, 3),
+        "converged": conv.converged,
+        "achieved_halfwidths": {
+            k: round(v, 4) for k, v in conv.halfwidths.items()
+        },
+        "time_s": round(wall, 4),
+        "parity_ok": parity_ok,
+    }
+    return record, ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
           f"{ckpt_time:7.2f}s  overhead {100 * ckpt_overhead:+.1f}%  parity "
           f"{'ok' if parity_ok else 'BROKEN'}")
 
+    adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
+
     record = {
         "bench": "campaign",
         "app": "cg",
@@ -122,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
             "overhead": round(ckpt_overhead, 4),
         },
         "parity_ok": parity_ok,
+        "adaptive": adaptive_record,
     }
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -131,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     if not parity_ok:
         print("FAIL: parallel joint distribution diverged from serial",
               file=sys.stderr)
+        return 1
+    if not adaptive_ok:
         return 1
     enforce = (not args.quick) and cpus >= ASSERT_MIN_CPUS and 4 in speedups
     if enforce and speedups[4] < REQUIRED_SPEEDUP:

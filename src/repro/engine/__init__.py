@@ -25,6 +25,11 @@ package; see ``docs/engine.md`` for the backend protocol, the
 checkpoint format, resume semantics and the determinism argument.
 """
 
+from repro.engine.adaptive import (
+    AdaptiveStopper,
+    run_adaptive_trials,
+    worst_case_trials,
+)
 from repro.engine.aggregate import ChunkAggregator
 from repro.engine.backends import Backend, InlineBackend, ProcessPoolBackend
 from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
@@ -36,9 +41,10 @@ from repro.engine.chunks import (
     execute_chunk,
     plan_chunks,
 )
-from repro.engine.core import run_trials, select_backend
+from repro.engine.core import run_trials, select_backend, write_checkpoint
 
 __all__ = [
+    "AdaptiveStopper",
     "Backend",
     "InlineBackend",
     "ProcessPoolBackend",
@@ -51,6 +57,9 @@ __all__ = [
     "chunk_bounds",
     "execute_chunk",
     "plan_chunks",
+    "run_adaptive_trials",
     "run_trials",
     "select_backend",
+    "worst_case_trials",
+    "write_checkpoint",
 ]

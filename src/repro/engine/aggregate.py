@@ -47,6 +47,23 @@ class ChunkAggregator:
         self.records: list[TrialRecord] = []
         self.trials_folded = 0
 
+    def extend(self, chunks: Sequence[tuple[int, int]]) -> None:
+        """Append chunks to the layout (adaptive campaigns grow in waves).
+
+        New chunks must come strictly after every chunk already planned —
+        the fold order is append-only, so extending never reorders or
+        invalidates chunks that may already have been folded.
+        """
+        new = sorted(tuple(c) for c in chunks)
+        if not new:
+            return
+        if self._order and new[0][0] < self._order[-1][1]:
+            raise ValueError(
+                f"cannot extend layout with chunk {new[0]}: it overlaps "
+                f"already-planned chunk {self._order[-1]}"
+            )
+        self._order.extend(new)
+
     def add(self, payload: ChunkPayload, events_emitted: bool = False) -> None:
         """Accept one payload; fold it (and any unblocked successors).
 

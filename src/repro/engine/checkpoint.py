@@ -181,15 +181,29 @@ class CheckpointStore:
         )
 
     # ------------------------------------------------------------------
-    def begin(self, trials: int, chunks: list[tuple[int, int]]) -> None:
-        """Record the campaign's chunk layout (idempotent, atomic)."""
+    def begin(
+        self,
+        trials: int,
+        chunks: list[tuple[int, int]],
+        planned: int | None = None,
+    ) -> None:
+        """Record the campaign's chunk layout (idempotent, atomic).
+
+        ``planned`` marks a *partial* layout: an adaptive campaign plans
+        its chunks wave by wave, so the manifest may cover only the
+        first ``planned`` of up to ``trials`` trials.  Omitted (the
+        fixed-N driver), the layout must tile the full trial range.
+        """
         self.dir.mkdir(parents=True, exist_ok=True)
-        _atomic_write(self._meta_path(), json.dumps({
+        meta: dict = {
             "version": _CKPT_VERSION,
             "key": self.key,
             "trials": trials,
             "chunks": [[lo, hi] for lo, hi in chunks],
-        }))
+        }
+        if planned is not None and planned < trials:
+            meta["planned"] = planned
+        _atomic_write(self._meta_path(), json.dumps(meta))
 
     def write(self, payload: ChunkPayload) -> tuple[Path, int]:
         """Persist one completed chunk; returns ``(path, bytes)``."""
@@ -218,6 +232,7 @@ class CheckpointStore:
             meta = json.loads(meta_path.read_text())
             version, key = meta["version"], meta["key"]
             trials = int(meta["trials"])
+            planned = int(meta.get("planned", trials))
             chunks = [(int(lo), int(hi)) for lo, hi in meta["chunks"]]
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             self._corrupt(meta_path, f"unreadable manifest ({exc})", wipe=True)
@@ -227,9 +242,9 @@ class CheckpointStore:
             return None
         covered = sorted(chunks)
         flat = [t for lo, hi in covered for t in range(lo, hi)]
-        if flat != list(range(trials)):
+        if planned > trials or flat != list(range(planned)):
             self._corrupt(
-                meta_path, "manifest chunks do not tile the trial range",
+                meta_path, "manifest chunks do not tile the planned range",
                 wipe=True,
             )
         payloads: list[ChunkPayload] = []

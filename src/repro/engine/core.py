@@ -34,7 +34,27 @@ if TYPE_CHECKING:
     from repro.fi.campaign import AppProtocol, Deployment
     from repro.fi.profile import InstructionProfile
 
-__all__ = ["run_trials", "select_backend"]
+__all__ = ["run_trials", "select_backend", "write_checkpoint"]
+
+
+def write_checkpoint(store, payload: ChunkPayload, obs, trials_done: int) -> None:
+    """Persist one completed chunk and emit the bookkeeping telemetry.
+
+    Shared by the fixed-N driver below and the adaptive driver in
+    :mod:`repro.engine.adaptive` so both produce identical checkpoint
+    artifacts and ``CheckpointWritten`` streams.
+    """
+    path, size = store.write(payload)
+    if obs.enabled:
+        obs.counter("checkpoint.writes")
+        obs.counter("checkpoint.write_bytes", size)
+        obs.emit(CheckpointWritten(
+            path=str(path),
+            chunk_start=payload.start,
+            chunk_stop=payload.stop,
+            trials_done=trials_done,
+            size_bytes=size,
+        ))
 
 
 def select_backend(jobs: int, n_chunks: int, capture: bool) -> Backend:
@@ -126,18 +146,8 @@ def run_trials(
         backend = select_backend(jobs, len(missing), capture=checkpointing)
         for payload in backend.run(ctx, missing):
             if store is not None:
-                path, size = store.write(payload)
                 trials_done += payload.n_trials
-                if obs.enabled:
-                    obs.counter("checkpoint.writes")
-                    obs.counter("checkpoint.write_bytes", size)
-                    obs.emit(CheckpointWritten(
-                        path=str(path),
-                        chunk_start=payload.start,
-                        chunk_stop=payload.stop,
-                        trials_done=trials_done,
-                        size_bytes=size,
-                    ))
+                write_checkpoint(store, payload, obs, trials_done)
             aggregator.add(payload, events_emitted=backend.live_events)
 
     joint, records = aggregator.finish()

@@ -13,7 +13,10 @@ Besides the experiment harnesses, the CLI wires the observability layer
 (deterministic: results are bit-identical to serial; see
 docs/performance.md).  ``--checkpoint-every N`` makes campaign progress
 durable every N trials, and ``--resume`` restarts an interrupted run
-from its last checkpoint (see docs/engine.md).
+from its last checkpoint (see docs/engine.md).  ``--ci-halfwidth H``
+turns every campaign adaptive: ``--trials`` becomes a cap and each
+deployment stops as soon as its outcome rates reach the requested 95%
+Wilson half-width (see docs/adaptive.md).
 """
 
 from __future__ import annotations
@@ -128,6 +131,13 @@ def main(argv: list[str] | None = None) -> int:
              "re-running only the missing trials",
     )
     parser.add_argument(
+        "--ci-halfwidth", type=float, default=None, metavar="H",
+        help="adaptive precision target in (0, 0.5): stop each deployment "
+             "once every outcome rate's 95%% Wilson half-width is <= H, "
+             "with --trials as the cap (e.g. 0.05 for ±5 pp; see "
+             "docs/adaptive.md). Default: $REPRO_CI_HALFWIDTH or fixed-N",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSONL observability trace (replay with obs-report)",
     )
@@ -166,6 +176,15 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CHECKPOINT_EVERY"] = str(args.checkpoint_every)
     if args.resume:
         os.environ["REPRO_RESUME"] = "1"
+
+    if args.ci_halfwidth is not None:
+        if not 0.0 < args.ci_halfwidth < 0.5:
+            parser.error(
+                f"--ci-halfwidth must be in (0, 0.5), got {args.ci_halfwidth}"
+            )
+        # Same env-var relay as --jobs: every deployment resolves its
+        # precision target via repro.fi.campaign.default_ci_halfwidth.
+        os.environ["REPRO_CI_HALFWIDTH"] = repr(args.ci_halfwidth)
 
     recorder = previous = None
     if args.trace_out or args.progress or args.metrics_summary:

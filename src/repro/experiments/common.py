@@ -70,6 +70,7 @@ def default_trials(trials: int | None = None) -> int:
 def serial_sample_results(
     app: AppSpec, target_nprocs: int, n_samples: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
+    ci_halfwidth: float | None = None,
 ) -> dict[int, FaultInjectionResult]:
     """FI_ser_x at the sample plan's cases (multi-error serial runs)."""
     plan = SerialSamplePlan(large_nprocs=target_nprocs, n_samples=n_samples)
@@ -78,7 +79,7 @@ def serial_sample_results(
         dep = Deployment(
             nprocs=1, trials=trials, n_errors=x, region=Region.COMMON,
             seed=seed + _SEED_SERIAL + x, jobs=jobs,
-            checkpoint_every=checkpoint_every,
+            checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
         )
         out[x] = FaultInjectionResult.from_campaign(cached_campaign(app, dep))
     return out
@@ -87,11 +88,13 @@ def serial_sample_results(
 def small_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
+    ci_halfwidth: float | None = None,
 ) -> CampaignResult:
     """Single-error campaign at a small scale (propagation + alpha input)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_SMALL + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
+        ci_halfwidth=ci_halfwidth,
     )
     return cached_campaign(app, dep)
 
@@ -99,11 +102,13 @@ def small_campaign(
 def measured_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
+    ci_halfwidth: float | None = None,
 ) -> CampaignResult:
     """Ground-truth campaign at the target scale (for accuracy figures)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_MEASURED + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
+        ci_halfwidth=ci_halfwidth,
     )
     return cached_campaign(app, dep)
 
@@ -111,12 +116,13 @@ def measured_campaign(
 def unique_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
+    ci_halfwidth: float | None = None,
 ) -> CampaignResult:
     """Campaign with every error forced into the parallel-unique region."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, region=Region.PARALLEL_UNIQUE,
         seed=seed + _SEED_UNIQUE + nprocs, jobs=jobs,
-        checkpoint_every=checkpoint_every,
+        checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
     )
     return cached_campaign(app, dep)
 
@@ -170,6 +176,7 @@ def build_predictor(
     unique_threshold: float = 0.02,
     jobs: int | None = None,
     checkpoint_every: int | None = None,
+    ci_halfwidth: float | None = None,
 ) -> ResiliencePredictor:
     """Assemble every model input for ``app_name`` and return a predictor.
 
@@ -178,6 +185,13 @@ def build_predictor(
         one fault-free profiling run at the target scale;
       * ``"extrapolate"`` — fit the shares measured at small scales
         against log2(p) (no run at the target scale at all).
+
+    ``ci_halfwidth`` plans the whole sampling sweep — every serial
+    multi-error case x = 1 … p plus the small-scale campaigns — as one
+    precision budget: each deployment keeps ``trials`` as its cap but
+    stops as soon as its outcome rates hit the target half-width, so the
+    sweep's trials concentrate on whichever x values are still noisy
+    (see ``docs/adaptive.md``).
     """
     app = get_app(app_name)
     trials = default_trials(trials)
@@ -185,16 +199,16 @@ def build_predictor(
 
     serial = serial_sample_results(
         app, target_nprocs, n_samples, trials, seed, jobs=jobs,
-        checkpoint_every=checkpoint_every,
+        checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
     )
     small = small_campaign(
         app, small_nprocs, trials, seed, jobs=jobs,
-        checkpoint_every=checkpoint_every,
+        checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
     )
     probe_dep = Deployment(
         nprocs=1, trials=trials, n_errors=small_nprocs, region=Region.COMMON,
         seed=seed + _SEED_SERIAL + small_nprocs, jobs=jobs,
-        checkpoint_every=checkpoint_every,
+        checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
     )
     probe = FaultInjectionResult.from_campaign(cached_campaign(app, probe_dep))
 
@@ -213,7 +227,7 @@ def build_predictor(
         unique_result = FaultInjectionResult.from_campaign(
             unique_campaign(
                 app, small_nprocs, trials, seed, jobs=jobs,
-                checkpoint_every=checkpoint_every,
+                checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
             )
         )
 

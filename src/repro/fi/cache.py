@@ -17,7 +17,13 @@ import json
 import os
 from pathlib import Path
 
-from repro.fi.campaign import AppProtocol, CampaignResult, Deployment, run_campaign
+from repro.fi.campaign import (
+    AppProtocol,
+    CampaignResult,
+    Deployment,
+    run_campaign,
+    with_resolved_ci,
+)
 from repro.fi.outcomes import Outcome
 from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
 
@@ -58,6 +64,8 @@ def deployment_key(deployment: Deployment) -> str:
         key += f",b={deployment.bits_per_error}"  # single-bit keys stable
     if deployment.max_steps is not None:  # same trick: the runaway guard
         key += f",ms={deployment.max_steps}"  # changes outcomes when set
+    if deployment.ci_halfwidth is not None:  # adaptive stopping changes
+        key += f",ci={deployment.ci_halfwidth!r}"  # the executed trial set
     return key
 
 
@@ -189,6 +197,10 @@ def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
     incident.  Hits, misses and writes are counted with byte sizes when
     observability is enabled.
     """
+    # pin the effective precision target before keying: an adaptive run
+    # executes a different trial set, so it must never share a cache
+    # entry (or checkpoint identity) with the fixed-N campaign
+    deployment = with_resolved_ci(deployment)
     if not cache_enabled():
         return run_campaign(app, deployment)
     obs = get_recorder()

@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator, Protocol
 
 from repro.errors import (
@@ -43,7 +43,7 @@ from repro.utils.validation import check_positive_int
 __all__ = [
     "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
     "default_jobs", "default_checkpoint_every", "default_resume",
-    "AppProtocol",
+    "default_ci_halfwidth", "with_resolved_ci", "AppProtocol",
 ]
 
 
@@ -94,6 +94,35 @@ def default_resume() -> bool:
     return os.environ.get("REPRO_RESUME", "0").lower() not in ("0", "", "false", "no")
 
 
+def default_ci_halfwidth() -> float | None:
+    """Adaptive precision target: ``$REPRO_CI_HALFWIDTH``, else fixed-N.
+
+    None keeps the classic fixed-trial-count campaign.  A malformed or
+    out-of-range value warns once on stderr and leaves adaptive stopping
+    off rather than aborting an otherwise valid run.
+    """
+    raw = os.environ.get("REPRO_CI_HALFWIDTH")
+    if raw is None or raw == "":
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        print(
+            f"repro: warning: malformed REPRO_CI_HALFWIDTH={raw!r}; "
+            f"adaptive stopping disabled",
+            file=sys.stderr,
+        )
+        return None
+    if not 0.0 < value < 0.5:
+        print(
+            f"repro: warning: REPRO_CI_HALFWIDTH={value} outside (0, 0.5); "
+            f"adaptive stopping disabled",
+            file=sys.stderr,
+        )
+        return None
+    return value
+
+
 class AppProtocol(Protocol):
     """What the campaign driver needs from an application."""
 
@@ -127,6 +156,8 @@ class Deployment:
     jobs: int | None = None             # worker processes; None = $REPRO_JOBS
     checkpoint_every: int | None = None  # trials per durable checkpoint;
                                          # None = $REPRO_CHECKPOINT_EVERY
+    ci_halfwidth: float | None = None   # adaptive precision target; None =
+                                        # $REPRO_CI_HALFWIDTH, else fixed-N
 
     def __post_init__(self) -> None:
         check_positive_int(self.nprocs, "nprocs")
@@ -137,6 +168,10 @@ class Deployment:
             check_positive_int(self.jobs, "jobs")
         if self.checkpoint_every is not None:
             check_positive_int(self.checkpoint_every, "checkpoint_every")
+        if self.ci_halfwidth is not None and not 0.0 < self.ci_halfwidth < 0.5:
+            raise ConfigurationError(
+                f"ci_halfwidth must be in (0, 0.5), got {self.ci_halfwidth}"
+            )
         if self.n_errors > 1 and self.target_rank is None and self.nprocs > 1:
             raise ConfigurationError(
                 "multi-error deployments on parallel executions must pin target_rank"
@@ -311,6 +346,28 @@ def _resolve_checkpoint_every(
     return check_positive_int(checkpoint_every, "checkpoint_every")
 
 
+def with_resolved_ci(
+    deployment: Deployment, ci_halfwidth: float | None = None
+) -> Deployment:
+    """Materialize the effective precision target into the deployment.
+
+    Precedence: call arg > ``Deployment.ci_halfwidth`` >
+    ``$REPRO_CI_HALFWIDTH`` > None (fixed-N).  Unlike execution knobs
+    (``jobs``, ``checkpoint_every``), the target *changes the executed
+    trial set*, so it must be pinned into the deployment before cache
+    keys or checkpoint identities are derived — both
+    :func:`run_campaign` and :func:`repro.fi.cache.cached_campaign`
+    resolve through here so the three always agree.
+    """
+    if ci_halfwidth is None:
+        ci_halfwidth = deployment.ci_halfwidth
+    if ci_halfwidth is None:
+        ci_halfwidth = default_ci_halfwidth()
+    if ci_halfwidth == deployment.ci_halfwidth:
+        return deployment
+    return replace(deployment, ci_halfwidth=ci_halfwidth)
+
+
 def run_campaign(
     app: AppProtocol,
     deployment: Deployment,
@@ -318,6 +375,7 @@ def run_campaign(
     jobs: int | None = None,
     checkpoint_every: int | None = None,
     resume: bool | None = None,
+    ci_halfwidth: float | None = None,
 ) -> CampaignResult:
     """Run a full fault-injection deployment for ``app``.
 
@@ -337,7 +395,14 @@ def run_campaign(
     they finish, and ``resume=True`` recovers an interrupted campaign's
     durable chunks and re-runs only the missing ones — still
     bit-identical to an uninterrupted serial run (see ``docs/engine.md``).
+
+    ``ci_halfwidth=H`` switches the deployment to adaptive precision
+    targeting: ``deployment.trials`` becomes a *cap*, and trials stop as
+    soon as every outcome rate's 95% Wilson half-width is at or below H
+    (see ``docs/adaptive.md``) — still bit-identical for any ``jobs``
+    and across interrupt/resume.
     """
+    deployment = with_resolved_ci(deployment, ci_halfwidth)
     n_jobs = _resolve_jobs(jobs, deployment)
     ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
     do_resume = default_resume() if resume is None else resume
@@ -362,13 +427,23 @@ def run_campaign(
 
         t1 = time.perf_counter()
         # imported lazily: the engine imports this module in turn
-        from repro.engine import run_trials
+        if deployment.ci_halfwidth is not None:
+            from repro.engine.adaptive import run_adaptive_trials
 
-        joint, records = run_trials(
-            app, deployment, profile, reference,
-            keep_records=keep_records, jobs=n_jobs,
-            checkpoint_every=ckpt_every, resume=do_resume,
-        )
+            joint, records = run_adaptive_trials(
+                app, deployment, profile, reference,
+                target=deployment.ci_halfwidth,
+                keep_records=keep_records, jobs=n_jobs,
+                checkpoint_every=ckpt_every, resume=do_resume,
+            )
+        else:
+            from repro.engine import run_trials
+
+            joint, records = run_trials(
+                app, deployment, profile, reference,
+                keep_records=keep_records, jobs=n_jobs,
+                checkpoint_every=ckpt_every, resume=do_resume,
+            )
         injection_time = time.perf_counter() - t1
 
     result = CampaignResult(

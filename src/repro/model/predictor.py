@@ -46,7 +46,7 @@ def _combine_bounds(
     """
     out: dict[Outcome, ConfidenceInterval] = {}
     for oc, rate in rates.items():
-        half = sum(w * fi.interval(oc).width / 2.0 for w, fi in contributions)
+        half = sum(w * fi.halfwidth(oc) for w, fi in contributions)
         out[oc] = ConfidenceInterval(
             max(0.0, rate - half), min(1.0, rate + half)
         )
@@ -140,6 +140,33 @@ class ResiliencePredictor:
         )
 
     # ------------------------------------------------------------------
+    def input_halfwidths(self) -> dict[str, float]:
+        """Worst-outcome achieved Wilson half-width per measured input.
+
+        One entry per campaign feeding the prediction — ``"serial x=K"``
+        for every multi-error serial sample, ``"small p=S"`` for the
+        small-scale propagation campaign, ``"unique p=S"`` when the
+        parallel-unique term is active.  This is what an adaptive
+        campaign's ``ci_halfwidth`` target controls: every value here is
+        at most the target when the sweep converged (see
+        ``docs/adaptive.md``), and the Eq. 1/8 convex combinations mean
+        the predicted triple's propagated half-width is bounded by the
+        worst of these.
+        """
+        out: dict[str, float] = {}
+        for x in sorted(self.inputs.serial_samples):
+            fi = self.inputs.serial_samples[x]
+            out[f"serial x={x}"] = max(fi.halfwidth(oc) for oc in Outcome)
+        small = self._small_overall
+        out[f"small p={self.inputs.small_nprocs}"] = max(
+            small.halfwidth(oc) for oc in Outcome
+        )
+        if self.inputs.unique_result is not None:
+            out[f"unique p={self.inputs.small_nprocs}"] = max(
+                self.inputs.unique_result.halfwidth(oc) for oc in Outcome
+            )
+        return out
+
     def predict(self, target_nprocs: int) -> FaultInjectionResult:
         """Eq. 1: weighted sum of the common and parallel-unique terms."""
         common = self.predict_common(target_nprocs)

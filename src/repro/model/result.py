@@ -107,6 +107,12 @@ class FaultInjectionResult:
             return wilson_interval(round(p * self.n_trials), self.n_trials, z)
         return ConfidenceInterval(p, p)
 
+    def halfwidth(self, outcome: Outcome = Outcome.SUCCESS, z: float = Z_95) -> float:
+        """Half the width of :meth:`interval` — the precision actually
+        achieved on one rate, comparable directly against an adaptive
+        campaign's ``ci_halfwidth`` target."""
+        return self.interval(outcome, z).width / 2.0
+
 
 def result_given_contaminated(
     campaign: CampaignResult, n_contaminated: int

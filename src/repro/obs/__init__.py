@@ -34,6 +34,7 @@ from repro.obs.events import (
     CacheHit,
     CacheMiss,
     CacheWrite,
+    CampaignConverged,
     CampaignFinished,
     CampaignResumed,
     CampaignStarted,
@@ -71,7 +72,7 @@ __all__ = [
     "Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace",
     # events
     "Event", "CampaignStarted", "CampaignFinished", "CampaignResumed",
-    "CheckpointWritten", "TrialFinished",
+    "CampaignConverged", "CheckpointWritten", "TrialFinished",
     "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
     "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
     # provenance

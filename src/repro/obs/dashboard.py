@@ -24,6 +24,7 @@ import numpy as np
 from repro.numerics.bits import bit_width
 from repro.obs.confidence import wilson_interval
 from repro.obs.events import (
+    CampaignConverged,
     CampaignResumed,
     CampaignStarted,
     CheckpointWritten,
@@ -177,6 +178,41 @@ def _checkpoint_section(events: list[Event]) -> str | None:
     return "\n".join(parts)
 
 
+def _convergence_section(events: list[Event]) -> str | None:
+    """Adaptive precision summary; None when every campaign was fixed-N.
+
+    Shows where the precision budget actually went: a bar per deployment
+    with the trials it spent (against its cap), plus a table with waves,
+    the target and the worst achieved half-width.
+    """
+    converged = [e for e in events if isinstance(e, CampaignConverged)]
+    if not converged:
+        return None
+    labels, rows = [], []
+    for e in converged:
+        # serial multi-error sweeps vary x, parallel campaigns vary p
+        label = f"x={e.n_errors}" if e.nprocs == 1 else f"p={e.nprocs}"
+        if sum(1 for c in converged if c.app == e.app) != len(converged):
+            label = f"{e.app} {label}"
+        labels.append(label)
+        worst = max(e.halfwidths.values()) if e.halfwidths else float("nan")
+        rows.append((
+            e.app, label, f"{e.trials_used}/{e.trials_cap}", e.waves,
+            f"{e.target:.4f}", f"{worst:.4f}",
+            "yes" if e.converged else "CAP HIT",
+        ))
+    svg = bar_chart(
+        labels, [e.trials_used for e in converged],
+        title="Trials spent per deployment (adaptive stopping)",
+        ylabel="trials", percent=False,
+    ).render()
+    return svg + _html_table(
+        ["app", "deployment", "trials", "waves", "target ±", "achieved ±",
+         "converged"],
+        rows,
+    )
+
+
 def _phase_section(events: list[Event]) -> str:
     totals: dict[str, list[float]] = {}
     for e in events:
@@ -230,6 +266,9 @@ def render_dashboard(
     checkpoints = _checkpoint_section(events)
     if checkpoints is not None:
         sections.append(("Checkpoint / resume", checkpoints))
+    convergence = _convergence_section(events)
+    if convergence is not None:
+        sections.append(("Adaptive convergence", convergence))
     body = "\n".join(
         f"<section><h2>{_esc(title)}</h2>\n{content}</section>"
         for title, content in sections

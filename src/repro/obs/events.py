@@ -18,6 +18,7 @@ __all__ = [
     "CampaignStarted",
     "CampaignFinished",
     "CampaignResumed",
+    "CampaignConverged",
     "CheckpointWritten",
     "TrialFinished",
     "FaultInjected",
@@ -91,6 +92,30 @@ class CampaignResumed(Event):
     chunks_done: int
     chunks_total: int
     path: str             # checkpoint directory
+
+
+@dataclass(frozen=True)
+class CampaignConverged(Event):
+    """An adaptive deployment hit (or missed) its precision target.
+
+    Emitted once per adaptive campaign by
+    :func:`repro.engine.adaptive.run_adaptive_trials` after the last
+    wave: ``converged`` says whether every tracked outcome's Wilson
+    half-width reached ``target`` before the ``trials_cap`` ran out, and
+    ``halfwidths`` records the achieved half-width per outcome value.
+    """
+
+    type: ClassVar[str] = "campaign_converged"
+
+    app: str
+    nprocs: int
+    n_errors: int
+    target: float               # requested CI half-width
+    trials_used: int
+    trials_cap: int
+    waves: int
+    converged: bool
+    halfwidths: dict[str, float]   # Outcome.value -> achieved half-width
 
 
 @dataclass(frozen=True)
@@ -224,9 +249,10 @@ class SpanEnd(Event):
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
     for cls in (
-        CampaignStarted, CampaignFinished, CampaignResumed, CheckpointWritten,
-        TrialFinished, FaultInjected, TrialProvenance, CacheHit, CacheMiss,
-        CacheWrite, CacheCorrupt, SchedulerDeadlock, SpanEnd,
+        CampaignStarted, CampaignFinished, CampaignResumed, CampaignConverged,
+        CheckpointWritten, TrialFinished, FaultInjected, TrialProvenance,
+        CacheHit, CacheMiss, CacheWrite, CacheCorrupt, SchedulerDeadlock,
+        SpanEnd,
     )
 }
 

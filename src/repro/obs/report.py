@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 
 from repro.obs.confidence import wilson_interval
 from repro.obs.events import (
+    CampaignConverged,
     CampaignResumed,
     CheckpointWritten,
     Event,
@@ -29,6 +30,7 @@ __all__ = [
     "phase_table",
     "outcome_counts",
     "checkpoint_summary",
+    "convergence_summary",
     "render_trace_report",
     "render_metrics_summary",
 ]
@@ -88,6 +90,37 @@ def checkpoint_summary(events: Iterable[Event]) -> str | None:
     return format_table(["checkpointing", "value"], rows, title="Checkpointing")
 
 
+def convergence_summary(events: Iterable[Event]) -> str | None:
+    """Adaptive-campaign convergence table, or None for fixed-N traces.
+
+    One row per :class:`~repro.obs.events.CampaignConverged` event:
+    trials spent against the cap, waves, the worst outcome's achieved
+    half-width against the target, and whether the deployment converged
+    before the cap ran out.
+    """
+    converged = [e for e in events if isinstance(e, CampaignConverged)]
+    if not converged:
+        return None
+    rows = []
+    for e in converged:
+        label = f"{e.app} p={e.nprocs}"
+        if e.n_errors != 1:
+            label += f" x={e.n_errors}"
+        worst = max(e.halfwidths.values()) if e.halfwidths else float("nan")
+        rows.append((
+            label,
+            f"{e.trials_used}/{e.trials_cap}",
+            e.waves,
+            round(e.target, 4),
+            round(worst, 4),
+            "yes" if e.converged else "CAP HIT",
+        ))
+    return format_table(
+        ["deployment", "trials", "waves", "target ±", "achieved ±", "converged"],
+        rows, title="Convergence",
+    )
+
+
 def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
     events = load_trace(path, on_skip=on_skip)
@@ -111,6 +144,9 @@ def render_trace_report(path: str | Path, on_skip=None) -> str:
     checkpoints = checkpoint_summary(events)
     if checkpoints is not None:
         sections.append(checkpoints)
+    convergence = convergence_summary(events)
+    if convergence is not None:
+        sections.append(convergence)
     if not events:
         sections.append(f"(trace {path} contains no known events)")
     return "\n\n".join(sections)

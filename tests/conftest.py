@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -11,11 +13,29 @@ from repro.taint.ops import FPOps
 from repro.taint.region import Region
 from repro.taint.tracer_api import Operand
 
+# Helper modules under tests/ that child processes run directly; excluded
+# from collection explicitly, not just by naming convention.
+collect_ignore = ["unit/engine_child.py", "unit/adaptive_child.py"]
+
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
     """Keep campaign caching away from the repo's working directory."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch) -> Path:
+    """An isolated, *inspectable* campaign cache directory.
+
+    The autouse fixture above already isolates caching; use this one in
+    tests that assert on the cache's contents (entry counts, raw JSON
+    bytes).  Returns the directory ``REPRO_CACHE_DIR`` points at.
+    """
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    return cache
 
 
 @pytest.fixture

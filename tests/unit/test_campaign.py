@@ -193,40 +193,36 @@ class TestCampaignObservability:
 
 
 class TestCache:
-    def test_roundtrip(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_roundtrip(self, tmp_cache):
         app = TinyApp()
         dep = Deployment(nprocs=2, trials=25, seed=11)
         first = cached_campaign(app, dep)
-        files = list(tmp_path.glob("*.json"))
+        files = list(tmp_cache.glob("*.json"))
         assert len(files) == 1
         second = cached_campaign(app, dep)
         assert second.joint == first.joint
         assert second.parallel_unique_fraction == first.parallel_unique_fraction
 
-    def test_cache_disabled(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_cache_disabled(self, tmp_cache, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", "0")
         cached_campaign(TinyApp(), Deployment(nprocs=1, trials=5, seed=0))
-        assert list(tmp_path.glob("*.json")) == []
+        assert list(tmp_cache.glob("*.json")) == []
 
-    def test_corrupt_entry_recomputed(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_corrupt_entry_recomputed(self, tmp_cache):
         app = TinyApp()
         dep = Deployment(nprocs=1, trials=5, seed=0)
         cached_campaign(app, dep)
-        (path,) = tmp_path.glob("*.json")
+        (path,) = tmp_cache.glob("*.json")
         path.write_text("{ not json")
         res = cached_campaign(app, dep)
         assert res.n_trials == 5
         assert json.loads(path.read_text())["app_name"] == "tiny"
 
-    def test_truncated_entry_deleted_and_recomputed(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_truncated_entry_deleted_and_recomputed(self, tmp_cache):
         app = TinyApp()
         dep = Deployment(nprocs=1, trials=5, seed=0)
         cached_campaign(app, dep)
-        (path,) = tmp_path.glob("*.json")
+        (path,) = tmp_cache.glob("*.json")
         path.write_text(path.read_text()[:40])  # truncated mid-write
         mem = obs.MemorySink()
         with obs.recording(obs.Recorder([mem])):
@@ -241,8 +237,7 @@ class TestCache:
         (hit,) = mem.of(obs.CacheHit)
         assert hit.size_bytes == path.stat().st_size
 
-    def test_hit_and_miss_events(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_hit_and_miss_events(self, tmp_cache):
         app = TinyApp()
         dep = Deployment(nprocs=1, trials=5, seed=3)
         mem = obs.MemorySink()
@@ -255,12 +250,11 @@ class TestCache:
         assert rec.counters["cache.hits"] == 1
         assert rec.counters["cache.hit_bytes"] > 0
 
-    def test_distinct_deployments_distinct_entries(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_distinct_deployments_distinct_entries(self, tmp_cache):
         app = TinyApp()
         cached_campaign(app, Deployment(nprocs=1, trials=5, seed=0))
         cached_campaign(app, Deployment(nprocs=1, trials=5, seed=1))
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(list(tmp_cache.glob("*.json"))) == 2
 
     def test_max_steps_changes_the_key(self):
         from repro.fi.cache import _deployment_key
@@ -280,14 +274,13 @@ class TestCache:
         b = Deployment(nprocs=2, trials=10, seed=0, jobs=1)
         assert _deployment_key(a) == _deployment_key(b)
 
-    def test_multibit_pattern_has_its_own_entry(self, tmp_path, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    def test_multibit_pattern_has_its_own_entry(self, tmp_cache):
         app = TinyApp()
         single = cached_campaign(app, Deployment(nprocs=1, trials=20, seed=0))
         double = cached_campaign(
             app, Deployment(nprocs=1, trials=20, seed=0, bits_per_error=2)
         )
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(list(tmp_cache.glob("*.json"))) == 2
         # a 2-bit fault is at least as damaging on average
         assert double.success_rate <= single.success_rate + 0.2
 

@@ -18,7 +18,8 @@ class TestDocsExist:
 
     @pytest.mark.parametrize(
         "name", ["fault-model.md", "model.md", "substrate.md", "developer.md",
-                 "apps.md", "observability.md", "performance.md"]
+                 "apps.md", "observability.md", "performance.md", "engine.md",
+                 "adaptive.md"]
     )
     def test_docs_pages(self, name):
         assert (ROOT / "docs" / name).stat().st_size > 500

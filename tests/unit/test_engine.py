@@ -118,9 +118,8 @@ def _interrupt_after(n_trials: int):
 
 
 @pytest.fixture(autouse=True)
-def _isolated_store(tmp_path, monkeypatch):
+def _isolated_store(tmp_cache):
     """Checkpoints (and any cache writes) land in a per-test directory."""
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     yield
 
 
@@ -430,13 +429,13 @@ class TestKnobResolution:
 
 
 class TestCacheInteraction:
-    def test_checkpoint_every_does_not_fork_cache_entries(self, tmp_path):
+    def test_checkpoint_every_does_not_fork_cache_entries(self, tmp_cache):
         """checkpoint_every is an execution knob, not result identity."""
         app = EngineApp()
         first = cached_campaign(
             app, Deployment(nprocs=1, trials=8, seed=6, checkpoint_every=3)
         )
-        assert len(list(tmp_path.glob("engine-*.json"))) == 1
+        assert len(list(tmp_cache.glob("engine-*.json"))) == 1
         mem = obs.MemorySink()
         with obs.recording(obs.Recorder([mem])):
             second = cached_campaign(

@@ -172,12 +172,11 @@ class TestParity:
 
 
 class TestCacheInteraction:
-    def test_jobs_do_not_fork_cache_entries(self, tmp_path, monkeypatch):
+    def test_jobs_do_not_fork_cache_entries(self, tmp_cache):
         """jobs is an execution knob, not part of the result's identity."""
-        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         app = ParityApp()
         first = cached_campaign(app, Deployment(nprocs=1, trials=8, seed=6, jobs=2))
-        assert len(list(tmp_path.glob("parity-*.json"))) == 1
+        assert len(list(tmp_cache.glob("parity-*.json"))) == 1
         mem = obs.MemorySink()
         with obs.recording(obs.Recorder([mem])):
             second = cached_campaign(
