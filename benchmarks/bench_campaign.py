@@ -20,6 +20,14 @@ benchmark asserts it converges with >= 25% fewer trials (deterministic,
 enforced in ``--quick`` mode too) and, outside ``--quick`` mode, that
 ``jobs=2`` reproduces the serial adaptive run bit-for-bit.
 
+Finally the same CG deployment runs once with the hot-path profiler on
+(``--profile``), recording its per-phase attribution, coverage and
+overhead under the ``"profile"`` key of ``BENCH_campaign.json``.  The
+profiler's *disabled*-path cost (the ``if prof is None`` test every
+instrumented op now pays) is audited against the previous full-mode
+``BENCH_campaign.json`` on disk, when one with a matching configuration
+exists: serial wall-clock may not regress by more than 5%.
+
 Usage::
 
     python benchmarks/bench_campaign.py                # full: 200 trials
@@ -42,6 +50,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 REQUIRED_SPEEDUP = 1.8
 ASSERT_MIN_CPUS = 4
 MAX_CHECKPOINT_OVERHEAD = 0.05  # durable progress must cost < 5% serial
+
+# The profiler's disabled path (one ``is None`` test per instrumented
+# op) must stay within noise of the pre-instrumentation baseline: the
+# current serial time may not exceed the previous full-mode benchmark's
+# serial time (same app/trials/nprocs/cpu_count) by more than 5%.
+MAX_DISABLED_PROFILE_DRIFT = 0.05
 
 # Adaptive stopping must beat the fixed-N worst-case budget by >= 25%
 # at the same precision target on a skewed deployment (MG's outcome
@@ -139,6 +153,87 @@ def _bench_adaptive(quick: bool) -> tuple[dict, bool]:
     return record, ok
 
 
+def _bench_profile(
+    app, deployment, serial_time: float, serial_joint: dict
+) -> tuple[dict, bool]:
+    """Time the deployment with hot-path profiling on and break it down."""
+    from repro.fi.campaign import run_campaign
+    from repro.obs import MemorySink, Recorder, recording
+    from repro.obs.profiler import coverage, profiles_of, traced_op_share
+
+    mem = MemorySink()
+    with recording(Recorder([mem], profiling=True)):
+        t0 = time.perf_counter()
+        result = run_campaign(app, deployment, jobs=1)
+        wall = time.perf_counter() - t0
+    (event,) = profiles_of(mem.events)
+    parity_ok = (
+        result.joint == serial_joint
+        and list(result.joint) == list(serial_joint)
+    )
+    overhead = wall / serial_time - 1.0
+    cov = coverage(event)
+    share = traced_op_share(event)
+    print(f"  jobs=1 --profile  {wall:7.2f}s  overhead {100 * overhead:+.1f}%  "
+          f"span coverage {100 * cov:.0f}%  traced-op share "
+          f"{100 * share:.0f}%  parity {'ok' if parity_ok else 'BROKEN'}")
+    if not parity_ok:
+        print("FAIL: profiled run diverged from serial", file=sys.stderr)
+    hot = sorted(event.ops, key=lambda r: r["seconds"], reverse=True)
+    record = {
+        "time_s": round(wall, 4),
+        "enabled_overhead": round(overhead, 4),
+        "span_coverage": round(cov, 4),
+        "traced_op_share": round(share, 4),
+        "spans": {
+            path: [int(count), round(seconds, 4)]
+            for path, (count, seconds) in sorted(event.spans.items())
+        },
+        "hot_ops": [
+            {
+                "phase": row["phase"], "kind": row["kind"],
+                "rank": row["rank"], "ops": row["ops"],
+                "seconds": round(row["seconds"], 4),
+            }
+            for row in hot[:8]
+        ],
+    }
+    return record, parity_ok
+
+
+def _check_disabled_drift(
+    prior: dict | None, record: dict, serial_time: float, quick: bool
+) -> tuple[float | None, bool]:
+    """Serial wall-clock vs the previous full-mode benchmark on disk."""
+    if quick:
+        return None, True
+    comparable = (
+        prior is not None
+        and not prior.get("quick", True)
+        and all(
+            prior.get(key) == record[key]
+            for key in ("bench", "app", "nprocs", "trials", "cpu_count")
+        )
+        and isinstance(prior.get("times_s", {}).get("1"), (int, float))
+    )
+    if not comparable:
+        print("  (disabled-path drift check skipped: no comparable "
+              "prior BENCH_campaign.json)")
+        return None, True
+    prior_serial = prior["times_s"]["1"]
+    drift = serial_time / prior_serial - 1.0
+    print(f"  disabled-path drift vs prior run  "
+          f"{prior_serial:7.2f}s -> {serial_time:7.2f}s  "
+          f"({100 * drift:+.1f}%)")
+    if drift > MAX_DISABLED_PROFILE_DRIFT:
+        print(f"FAIL: serial wall-clock regressed {100 * drift:.1f}% > "
+              f"{100 * MAX_DISABLED_PROFILE_DRIFT:.0f}% vs the prior "
+              f"benchmark — the profiler's disabled path is not free",
+              file=sys.stderr)
+        return drift, False
+    return drift, True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trials", type=int, default=200,
@@ -194,6 +289,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{ckpt_time:7.2f}s  overhead {100 * ckpt_overhead:+.1f}%  parity "
           f"{'ok' if parity_ok else 'BROKEN'}")
 
+    profile_record, profile_ok = _bench_profile(
+        app, deployment, serial_time, serial_joint
+    )
+
     adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
 
     record = {
@@ -213,9 +312,25 @@ def main(argv: list[str] | None = None) -> int:
             "overhead": round(ckpt_overhead, 4),
         },
         "parity_ok": parity_ok,
+        "profile": profile_record,
         "adaptive": adaptive_record,
     }
+
+    # the previous benchmark on disk is the drift baseline — read it
+    # before overwriting
     out = Path(args.out)
+    prior: dict | None = None
+    if out.exists():
+        try:
+            prior = json.loads(out.read_text())
+        except (OSError, json.JSONDecodeError):
+            prior = None
+    drift, drift_ok = _check_disabled_drift(
+        prior, record, serial_time, args.quick
+    )
+    if drift is not None:
+        record["profile"]["disabled_drift_vs_prior"] = round(drift, 4)
+
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"  wrote {out}")
@@ -224,7 +339,9 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: parallel joint distribution diverged from serial",
               file=sys.stderr)
         return 1
-    if not adaptive_ok:
+    if not profile_ok or not adaptive_ok:
+        return 1
+    if not drift_ok:
         return 1
     enforce = (not args.quick) and cpus >= ASSERT_MIN_CPUS and 4 in speedups
     if enforce and speedups[4] < REQUIRED_SPEEDUP:

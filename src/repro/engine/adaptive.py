@@ -39,7 +39,12 @@ from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
 from repro.engine.chunks import ChunkPayload, EngineContext, plan_chunks
 from repro.engine.core import select_backend, write_checkpoint
 from repro.fi.outcomes import Outcome, TrialRecord
-from repro.obs import CampaignConverged, CampaignResumed, get_recorder
+from repro.obs import (
+    CampaignConverged,
+    CampaignPlanRevised,
+    CampaignResumed,
+    get_recorder,
+)
 from repro.obs.confidence import Z_95, wilson_interval
 
 if TYPE_CHECKING:
@@ -254,6 +259,7 @@ def run_adaptive_trials(
         # capture events so a run interrupted with obs off resumes with
         # full traces
         obs_enabled=obs.enabled or checkpointing,
+        profiling=obs.enabled and obs.profiling,
     )
 
     trials_durable = sum(hi - lo for lo, hi in recovered)
@@ -272,6 +278,14 @@ def run_adaptive_trials(
     converged = False
     while not converged and n_done < cap:
         boundary = stopper.next_boundary(aggregator.joint, n_done)
+        # the boundary IS the driver's current projection of the final
+        # campaign size — publish it so progress lines and the live
+        # /metrics ETA tighten wave by wave instead of assuming the cap
+        obs.gauge("campaign.trials_planned", boundary)
+        obs.gauge("campaign.trials_done", n_done)
+        obs.emit(CampaignPlanRevised(
+            app=app.name, planned=boundary, done=n_done,
+        ))
         if boundary > planned_hi:
             # extend the pinned layout: fresh trials chunked per worker,
             # durable progress at least every `interval` trials
@@ -302,9 +316,11 @@ def run_adaptive_trials(
                     trials_durable += payload.n_trials
                     write_checkpoint(store, payload, obs, trials_durable)
                 aggregator.add(payload, events_emitted=backend.live_events)
+                obs.gauge("campaign.trials_done", aggregator.trials_folded)
         n_done = boundary
         waves += 1
         converged = stopper.converged(aggregator.joint)
+        obs.gauge("campaign.trials_done", n_done)
 
     joint, records = aggregator.finish()
     obs.emit(CampaignConverged(

@@ -93,6 +93,9 @@ class EngineContext:
     reference: dict
     keep_records: bool
     obs_enabled: bool
+    #: hot-path profiling (repro.obs.profiler) — carried to workers so a
+    #: chunk's recorder attributes op time exactly like the parent's.
+    profiling: bool = False
 
 
 @dataclass
@@ -147,7 +150,11 @@ def execute_chunk(
         rec = get_recorder()
     elif ctx.obs_enabled:
         mem = MemorySink()
-        rec = Recorder([mem, *live_sinks], span_prefix=("campaign",))
+        rec = Recorder(
+            [mem, *live_sinks],
+            span_prefix=("campaign",),
+            profiling=ctx.profiling,
+        )
     else:
         rec = Recorder(enabled=False)
     joint: dict[tuple[Outcome, int, bool], int] = {}

@@ -118,6 +118,11 @@ def run_trials(
     missing = [bounds for bounds in chunks if bounds not in done]
     trials_done = sum(hi - lo for lo, hi in done)
 
+    # progress gauges: last-write-wins, so each campaign resets them and
+    # the live /metrics endpoint (and its ETA) tracks the current one
+    obs.gauge("campaign.trials_planned", trials)
+    obs.gauge("campaign.trials_done", trials_done)
+
     aggregator = ChunkAggregator(chunks, obs)
     if recovered:
         if obs.enabled:
@@ -142,6 +147,7 @@ def run_trials(
             # interrupted with obs off can then be resumed with obs ON
             # and still replay every recovered trial into the trace
             obs_enabled=obs.enabled or checkpointing,
+            profiling=obs.enabled and obs.profiling,
         )
         backend = select_backend(jobs, len(missing), capture=checkpointing)
         for payload in backend.run(ctx, missing):
@@ -149,6 +155,7 @@ def run_trials(
                 trials_done += payload.n_trials
                 write_checkpoint(store, payload, obs, trials_done)
             aggregator.add(payload, events_emitted=backend.live_events)
+            obs.gauge("campaign.trials_done", aggregator.trials_folded)
 
     joint, records = aggregator.finish()
     if store is not None:

@@ -4,10 +4,17 @@ Besides the experiment harnesses, the CLI wires the observability layer
 (:mod:`repro.obs`) into every run:
 
 * ``--trace-out PATH`` writes a JSONL event trace of the run;
-* ``--progress`` paints a throttled live progress line on stderr;
+* ``--progress`` paints a throttled live progress line on stderr (with
+  a wall-clock ETA once a rate is established);
 * ``--metrics-summary`` prints counters/histograms/span totals at exit;
+* ``--serve-obs PORT`` (or ``$REPRO_OBS_PORT``) serves live telemetry —
+  ``/metrics``, ``/events``, and an auto-refreshing dashboard at ``/`` —
+  while the run executes (see docs/observability.md);
+* ``--profile`` turns on the deterministic hot-path profiler;
 * ``obs-report PATH`` renders a previously written trace into per-phase
-  time/throughput and outcome tables.
+  time/throughput and outcome tables;
+* ``obs-profile PATH`` renders the per-(phase, op, rank) hot-path
+  attribution recorded by ``--profile``.
 
 ``--jobs N`` fans every campaign's trials over N worker processes
 (deterministic: results are bit-identical to serial; see
@@ -32,10 +39,32 @@ from repro.experiments import EXPERIMENTS
 __all__ = ["main"]
 
 
-def _warner(prog: str):
-    def warn(message: str) -> None:
-        print(f"{prog}: warning: {message}", file=sys.stderr)
-    return warn
+class _SkipCounter:
+    """Deduplicates ``load_trace`` partial-line warnings per file.
+
+    ``load_trace`` calls ``on_skip`` once per undecodable line with a
+    ``{path}:{lineno}: ...`` message; a heavily truncated file would
+    spray hundreds of identical warnings.  This callable tallies them
+    and :meth:`flush` prints one summary line per file instead.
+    """
+
+    def __init__(self, prog: str):
+        self._prog = prog
+        self._counts: dict[str, int] = {}
+
+    def __call__(self, message: str) -> None:
+        path = message.rsplit(":", 2)[0]
+        self._counts[path] = self._counts.get(path, 0) + 1
+
+    def flush(self) -> None:
+        for path, n in self._counts.items():
+            noun = "line" if n == 1 else "lines"
+            print(
+                f"{self._prog}: warning: {path}: skipped {n} "
+                f"partial/corrupt {noun}",
+                file=sys.stderr,
+            )
+        self._counts.clear()
 
 
 def _obs_report(argv: list[str]) -> int:
@@ -47,11 +76,13 @@ def _obs_report(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     from repro.obs import load_trace, render_trace_report
 
+    skips = _SkipCounter("obs-report")
     try:
-        events = load_trace(args.path, on_skip=_warner("obs-report"))
+        events = load_trace(args.path, on_skip=skips)
     except FileNotFoundError:
         print(f"obs-report: no such trace file: {args.path}", file=sys.stderr)
         return 2
+    skips.flush()
     if not events:
         print(
             f"obs-report: trace {args.path} contains no decodable events",
@@ -76,17 +107,63 @@ def _obs_dashboard(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     from repro.obs.dashboard import write_dashboard
 
+    skips = _SkipCounter("obs-dashboard")
     try:
-        out = write_dashboard(
-            args.path, out_path=args.out, on_skip=_warner("obs-dashboard")
-        )
+        out = write_dashboard(args.path, out_path=args.out, on_skip=skips)
     except FileNotFoundError:
         print(f"obs-dashboard: no such trace file: {args.path}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"obs-dashboard: {exc}", file=sys.stderr)
         return 1
+    finally:
+        skips.flush()
     print(f"dashboard written to {out}")
+    return 0
+
+
+def _obs_profile(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs-profile",
+        description="Report the hot-path profile recorded in a JSONL trace "
+                    "(write one by running an experiment with --profile "
+                    "--trace-out PATH).",
+    )
+    parser.add_argument("path", help="trace file written with --trace-out")
+    parser.add_argument(
+        "--svg", metavar="OUT", default=None,
+        help="also write the merged span-tree flamegraph SVG to OUT",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs import load_trace
+    from repro.obs.profiler import (
+        merge_profile_events,
+        profiles_of,
+        render_profile_report,
+        render_profile_svg,
+    )
+
+    skips = _SkipCounter("obs-profile")
+    try:
+        events = load_trace(args.path, on_skip=skips)
+    except FileNotFoundError:
+        print(f"obs-profile: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    skips.flush()
+    profiles = profiles_of(events)
+    if not profiles:
+        print(
+            f"obs-profile: trace {args.path} has no campaign_profile events "
+            f"(rerun the experiment with --profile)",
+            file=sys.stderr,
+        )
+        return 1
+    # write the artifact before printing: the report may die on a closed
+    # stdout pipe (`obs-profile ... | head`) and the SVG should survive
+    if args.svg:
+        render_profile_svg(merge_profile_events(profiles)).save(args.svg)
+        print(f"flamegraph written to {args.svg}")
+    print("\n\n".join(render_profile_report(event) for event in profiles))
     return 0
 
 
@@ -97,12 +174,15 @@ def main(argv: list[str] | None = None) -> int:
         return _obs_report(argv[1:])
     if argv[:1] == ["obs-dashboard"]:
         return _obs_dashboard(argv[1:])
+    if argv[:1] == ["obs-profile"]:
+        return _obs_profile(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
-        epilog="See also the 'obs-report PATH' and 'obs-dashboard PATH' "
-               "subcommands, which render a trace written with --trace-out.",
+        epilog="See also the 'obs-report PATH', 'obs-dashboard PATH' and "
+               "'obs-profile PATH' subcommands, which render a trace "
+               "written with --trace-out.",
     )
     parser.add_argument(
         "experiment",
@@ -150,6 +230,17 @@ def main(argv: list[str] | None = None) -> int:
         help="print counters, histograms and span totals after the run",
     )
     parser.add_argument(
+        "--serve-obs", type=int, default=None, metavar="PORT",
+        help="serve live telemetry on 127.0.0.1:PORT while the run "
+             "executes (/metrics, /events, auto-refreshing dashboard at /; "
+             "0 picks an ephemeral port). Default: $REPRO_OBS_PORT or off",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall time and FP-instruction counts per (phase, "
+             "op kind, rank); render with obs-profile or the dashboard",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress tables and per-experiment timing; errors still print",
     )
@@ -186,8 +277,28 @@ def main(argv: list[str] | None = None) -> int:
         # precision target via repro.fi.campaign.default_ci_halfwidth.
         os.environ["REPRO_CI_HALFWIDTH"] = repr(args.ci_halfwidth)
 
+    serve_port = args.serve_obs
+    if serve_port is None:
+        raw = os.environ.get("REPRO_OBS_PORT")
+        if raw is not None and raw != "":
+            try:
+                serve_port = int(raw)
+            except ValueError:
+                print(
+                    f"repro: warning: malformed REPRO_OBS_PORT={raw!r}; "
+                    f"telemetry server disabled",
+                    file=sys.stderr,
+                )
+    if serve_port is not None and not 0 <= serve_port <= 65535:
+        parser.error(f"--serve-obs port must be in [0, 65535], got {serve_port}")
+
     recorder = previous = None
-    if args.trace_out or args.progress or args.metrics_summary:
+    server = None
+    wants_obs = (
+        args.trace_out or args.progress or args.metrics_summary
+        or args.profile or serve_port is not None
+    )
+    if wants_obs:
         from repro import obs
 
         previous = obs.get_recorder()
@@ -195,7 +306,16 @@ def main(argv: list[str] | None = None) -> int:
             trace_path=args.trace_out,
             progress=args.progress,
             metrics=True,
+            profile=args.profile,
         )
+        if serve_port is not None:
+            from repro.obs import start_live_server
+
+            server = start_live_server(recorder, port=serve_port)
+            print(
+                f"repro: serving observability on {server.url}",
+                file=sys.stderr,
+            )
 
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
     try:
@@ -206,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
             if not args.quiet:
                 print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
     finally:
+        if server is not None:
+            server.close()
         if recorder is not None:
             from repro.obs import render_metrics_summary, set_recorder
 

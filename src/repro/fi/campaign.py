@@ -32,6 +32,7 @@ from repro.obs import (
     CampaignFinished,
     CampaignStarted,
     FaultInjected,
+    ProfileScope,
     TrialFinished,
     get_recorder,
 )
@@ -280,14 +281,15 @@ def run_one_trial(
     trial_t0 = time.perf_counter()
     with obs.span("trial"):
         rng = trial_seed(deployment.seed, trial)
-        plan = sample_plan(
-            profile,
-            rng,
-            n_errors=deployment.n_errors,
-            target_rank=deployment.effective_target_rank,
-            region=deployment.region,
-            bits_per_error=deployment.bits_per_error,
-        )
+        with obs.span("plan"):
+            plan = sample_plan(
+                profile,
+                rng,
+                n_errors=deployment.n_errors,
+                target_rank=deployment.effective_target_rank,
+                region=deployment.region,
+                bits_per_error=deployment.bits_per_error,
+            )
         tracer = Tracer(TracerMode.INJECT, plan)
         detail = ""
         try:
@@ -301,7 +303,8 @@ def run_one_trial(
         except (DeadlockError, CommunicatorError) as exc:
             outcome, detail = Outcome.FAILURE, f"hang: {exc}"
         else:
-            outcome = classify_outcome(outs[0], reference, app.verify)
+            with obs.span("classify"):
+                outcome = classify_outcome(outs[0], reference, app.verify)
     record = TrialRecord(
         outcome=outcome,
         n_contaminated=tracer.contaminated_count(),
@@ -407,6 +410,11 @@ def run_campaign(
     ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
     do_resume = default_resume() if resume is None else resume
     obs = get_recorder()
+    # the recorder accumulates across campaigns, so the profiler scopes
+    # this campaign's span/op deltas (emitted as one CampaignProfile)
+    prof_scope = (
+        ProfileScope(obs) if obs.enabled and obs.profiling else None
+    )
     obs.emit(CampaignStarted(
         app=app.name, nprocs=deployment.nprocs, trials=deployment.trials,
         n_errors=deployment.n_errors, seed=deployment.seed,
@@ -446,6 +454,9 @@ def run_campaign(
             )
         injection_time = time.perf_counter() - t1
 
+    if prof_scope is not None:
+        # after the campaign span closes, so the delta includes its total
+        obs.emit(prof_scope.to_event(app.name))
     result = CampaignResult(
         app_name=app.name,
         deployment=deployment,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Generator
 
 import numpy as np
@@ -99,6 +100,12 @@ class Scheduler:
         # observability: resolved once per execution; disabled recorder
         # keeps every instrumentation site to a single attribute test.
         self._obs = get_recorder()
+        # hot-path profiler (repro.obs.profiler): attribute per-rank
+        # compute-burst time and collective-matching time under the
+        # current span path; None keeps _advance to one attribute test.
+        self._prof = (
+            self._obs if self._obs.enabled and self._obs.profiling else None
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -146,7 +153,30 @@ class Scheduler:
     # rank stepping
     # ------------------------------------------------------------------
     def _advance(self, rank: int, resume: Any) -> None:
-        """Run ``rank`` until it blocks or finishes."""
+        """Run ``rank`` until it blocks or finishes.
+
+        When profiling, the whole compute burst runs inside an
+        ``advance`` profiler frame: FP ops executed by the rank's
+        program attribute to ``<span path>/advance``, and the burst's
+        own total (steps as the op count) is recorded there under the
+        reserved ``step`` kind — so the profile tree can tell traced-op
+        time from scheduler bookkeeping.
+        """
+        prof = self._prof
+        if prof is None:
+            return self._advance_impl(rank, resume)
+        steps0 = self._steps
+        t0 = perf_counter()
+        prof.push_frame("advance")
+        try:
+            return self._advance_impl(rank, resume)
+        finally:
+            prof.profile_op(
+                "step", rank, self._steps - steps0, perf_counter() - t0
+            )
+            prof.pop_frame()
+
+    def _advance_impl(self, rank: int, resume: Any) -> None:
         state = self._states[rank]
         state.blocked_on = None
         while True:
@@ -230,6 +260,18 @@ class Scheduler:
     # collectives
     # ------------------------------------------------------------------
     def _try_complete_collective(self) -> bool:
+        prof = self._prof
+        if prof is None:
+            return self._try_complete_collective_impl()
+        t0 = perf_counter()
+        completed = self._try_complete_collective_impl()
+        if completed:
+            # rank -1: collective matching happens in the scheduler, not
+            # on behalf of any one rank
+            prof.profile_op("collective", -1, 1, perf_counter() - t0)
+        return completed
+
+    def _try_complete_collective_impl(self) -> bool:
         posts = self._collective_posts
         if len(posts) != self.size:
             return False

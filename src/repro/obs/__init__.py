@@ -36,6 +36,8 @@ from repro.obs.events import (
     CacheWrite,
     CampaignConverged,
     CampaignFinished,
+    CampaignPlanRevised,
+    CampaignProfile,
     CampaignResumed,
     CampaignStarted,
     CheckpointWritten,
@@ -46,6 +48,19 @@ from repro.obs.events import (
     TrialFinished,
     TrialProvenance,
     event_from_dict,
+)
+from repro.obs.live import (
+    LiveObsServer,
+    render_metrics_json,
+    render_prometheus,
+    start_live_server,
+)
+from repro.obs.profiler import (
+    ProfileScope,
+    live_profile_event,
+    merge_profile_events,
+    render_profile_report,
+    render_profile_svg,
 )
 from repro.obs.provenance import (
     FaultProvenance,
@@ -62,17 +77,26 @@ from repro.obs.recorder import (
     set_recorder,
 )
 from repro.obs.report import render_metrics_summary, render_trace_report
-from repro.obs.sinks import JsonlSink, MemorySink, ProgressSink, Sink, load_trace
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    RingBufferSink,
+    Sink,
+    load_trace,
+)
 
 __all__ = [
     # recorder
     "Recorder", "ObsSnapshot", "get_recorder", "set_recorder", "recording",
     "reset", "configure",
     # sinks
-    "Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace",
+    "Sink", "JsonlSink", "MemorySink", "ProgressSink", "RingBufferSink",
+    "load_trace",
     # events
     "Event", "CampaignStarted", "CampaignFinished", "CampaignResumed",
-    "CampaignConverged", "CheckpointWritten", "TrialFinished",
+    "CampaignConverged", "CampaignPlanRevised", "CampaignProfile",
+    "CheckpointWritten", "TrialFinished",
     "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
     "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
     # provenance
@@ -81,6 +105,12 @@ __all__ = [
     "ConfidenceInterval", "wilson_interval",
     # reports
     "render_trace_report", "render_metrics_summary",
+    # live telemetry
+    "LiveObsServer", "start_live_server", "render_prometheus",
+    "render_metrics_json",
+    # profiler
+    "ProfileScope", "live_profile_event", "merge_profile_events",
+    "render_profile_report", "render_profile_svg",
 ]
 
 
@@ -89,12 +119,15 @@ def configure(
     progress: bool = False,
     metrics: bool = False,
     provenance: bool = True,
+    profile: bool = False,
 ) -> Recorder:
     """Build and globally install a recorder for this process.
 
     ``trace_path`` attaches a :class:`JsonlSink`, ``progress`` a stderr
     :class:`ProgressSink`; ``metrics`` enables counter/histogram/span
-    collection even with no sink attached (for ``--metrics-summary``).
+    collection even with no sink attached (for ``--metrics-summary``);
+    ``profile`` additionally turns on the hot-path profiler
+    (:mod:`repro.obs.profiler`), which implies collection.
     With ``trace_path`` set and ``provenance`` left on, bulky
     :class:`TrialProvenance` events are routed to a second, timestamp-free
     sink at :func:`provenance_path` instead of the main trace, keeping
@@ -113,6 +146,10 @@ def configure(
             sinks.append(JsonlSink(trace_path, exclude=(TrialProvenance,)))
     if progress:
         sinks.append(ProgressSink())
-    recorder = Recorder(sinks, enabled=bool(sinks) or metrics)
+    recorder = Recorder(
+        sinks,
+        enabled=bool(sinks) or metrics or profile,
+        profiling=profile,
+    )
     set_recorder(recorder)
     return recorder

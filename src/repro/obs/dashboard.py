@@ -25,6 +25,7 @@ from repro.numerics.bits import bit_width
 from repro.obs.confidence import wilson_interval
 from repro.obs.events import (
     CampaignConverged,
+    CampaignProfile,
     CampaignResumed,
     CampaignStarted,
     CheckpointWritten,
@@ -32,11 +33,20 @@ from repro.obs.events import (
     SpanEnd,
     TrialFinished,
 )
+from repro.obs.profiler import (
+    coverage,
+    merge_profile_events,
+    render_profile_svg,
+    traced_op_share,
+)
 from repro.obs.provenance import FaultProvenance, load_provenance, provenance_path
 from repro.obs.sinks import load_trace
 from repro.viz.svg import bar_chart, bar_chart_with_ci, heatmap
 
-__all__ = ["render_dashboard", "write_dashboard", "dashboard_path"]
+__all__ = [
+    "render_dashboard", "render_dashboard_html", "write_dashboard",
+    "dashboard_path",
+]
 
 #: canonical outcome order for every chart (matches the paper's figures).
 _OUTCOMES = ["success", "sdc", "failure"]
@@ -213,6 +223,23 @@ def _convergence_section(events: list[Event]) -> str | None:
     )
 
 
+def _profile_section(events: list[Event]) -> str | None:
+    """Hot-path flamegraph; None when the run was not profiled."""
+    profiles = [e for e in events if isinstance(e, CampaignProfile)]
+    if not profiles:
+        return None
+    merged = merge_profile_events(profiles)
+    svg = render_profile_svg(merged).render()
+    note = (
+        f"<p class='meta'>{len(profiles)} profiled campaign(s); "
+        f"wall-time coverage {100 * coverage(merged):.1f}%, "
+        f"traced binary ops cover {100 * traced_op_share(merged):.1f}% of "
+        f"injection time. Full per-(phase, op, rank) table: "
+        f"<code>obs-profile TRACE</code>.</p>"
+    )
+    return svg + note
+
+
 def _phase_section(events: list[Event]) -> str:
     totals: dict[str, list[float]] = {}
     for e in events:
@@ -232,6 +259,60 @@ def _phase_section(events: list[Event]) -> str:
 
 
 # ----------------------------------------------------------------------
+def render_dashboard_html(
+    events: list[Event],
+    records: list[FaultProvenance],
+    title: str = "Campaign dashboard",
+    source_note: str = "",
+    refresh_s: float | None = None,
+    extra_sections: Iterable[tuple[str, str]] = (),
+) -> str:
+    """The dashboard page for an in-memory event stream.
+
+    The shared core behind the file-based :func:`render_dashboard` and
+    the live telemetry server's ``/`` endpoint (:mod:`repro.obs.live`),
+    which rebuilds the page on demand from its ring buffer.
+    ``refresh_s`` adds a ``<meta http-equiv="refresh">`` tag so a
+    browser watching a running campaign updates itself;
+    ``extra_sections`` prepends ``(heading, html)`` pairs (the live
+    server's status block).  Still zero JavaScript either way.
+    """
+    sections = list(extra_sections) + [
+        ("Campaigns", _campaign_section(events)),
+        ("Outcome rates", _outcome_section(events)),
+        ("Fault sites", _bit_heatmap_section(records)),
+        ("Contamination spread", _spread_section(records)),
+        ("Phase timing", _phase_section(events)),
+    ]
+    for heading, builder in (
+        ("Hot-path profile", _profile_section),
+        ("Checkpoint / resume", _checkpoint_section),
+        ("Adaptive convergence", _convergence_section),
+    ):
+        content = builder(events)
+        if content is not None:
+            sections.append((heading, content))
+    body = "\n".join(
+        f"<section><h2>{_esc(heading)}</h2>\n{content}</section>"
+        for heading, content in sections
+    )
+    refresh = (
+        f"<meta http-equiv=\"refresh\" content=\"{refresh_s:g}\">\n"
+        if refresh_s else ""
+    )
+    note = f"<p class='meta'>{source_note}</p>\n" if source_note else ""
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        f"{refresh}"
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f"{note}"
+        f"{body}\n</body>\n</html>\n"
+    )
+
+
 def render_dashboard(
     trace_path: str | Path,
     provenance: str | Path | None = None,
@@ -255,36 +336,14 @@ def render_dashboard(
     records: list[FaultProvenance] = []
     if provenance is not None:
         records = load_provenance(provenance, on_skip=on_skip)
-
-    sections = [
-        ("Campaigns", _campaign_section(events)),
-        ("Outcome rates", _outcome_section(events)),
-        ("Fault sites", _bit_heatmap_section(records)),
-        ("Contamination spread", _spread_section(records)),
-        ("Phase timing", _phase_section(events)),
-    ]
-    checkpoints = _checkpoint_section(events)
-    if checkpoints is not None:
-        sections.append(("Checkpoint / resume", checkpoints))
-    convergence = _convergence_section(events)
-    if convergence is not None:
-        sections.append(("Adaptive convergence", convergence))
-    body = "\n".join(
-        f"<section><h2>{_esc(title)}</h2>\n{content}</section>"
-        for title, content in sections
-    )
     prov_note = (
-        f" · provenance: <code>{_esc(provenance)}</code>" if provenance else
-        " · no provenance file found"
+        f"provenance: <code>{_esc(provenance)}</code>" if provenance else
+        "no provenance file found"
     )
-    return (
-        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
-        "<meta charset=\"utf-8\">\n"
-        f"<title>Campaign dashboard — {_esc(trace_path.name)}</title>\n"
-        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
-        f"<h1>Campaign dashboard</h1>\n"
-        f"<p class='meta'>trace: <code>{_esc(trace_path)}</code>{prov_note}</p>\n"
-        f"{body}\n</body>\n</html>\n"
+    return render_dashboard_html(
+        events, records,
+        title="Campaign dashboard",
+        source_note=f"trace: <code>{_esc(trace_path)}</code> · {prov_note}",
     )
 
 

@@ -19,6 +19,8 @@ __all__ = [
     "CampaignFinished",
     "CampaignResumed",
     "CampaignConverged",
+    "CampaignPlanRevised",
+    "CampaignProfile",
     "CheckpointWritten",
     "TrialFinished",
     "FaultInjected",
@@ -116,6 +118,46 @@ class CampaignConverged(Event):
     waves: int
     converged: bool
     halfwidths: dict[str, float]   # Outcome.value -> achieved half-width
+
+
+@dataclass(frozen=True)
+class CampaignPlanRevised(Event):
+    """An adaptive campaign revised its projected total trial count.
+
+    Emitted once per wave by
+    :func:`repro.engine.adaptive.run_adaptive_trials` with the next
+    convergence-check boundary — the driver's current best estimate of
+    the campaign's final size.  Progress consumers
+    (:class:`~repro.obs.sinks.ProgressSink`, the live ``/metrics``
+    endpoint) use it to tighten their denominator and wall-clock ETA as
+    waves converge.
+    """
+
+    type: ClassVar[str] = "campaign_plan_revised"
+
+    app: str
+    planned: int          # projected total trials at this revision
+    done: int             # trials folded when the projection was made
+
+
+@dataclass(frozen=True)
+class CampaignProfile(Event):
+    """Hot-path profile of one campaign (see :mod:`repro.obs.profiler`).
+
+    Emitted by :func:`repro.fi.campaign.run_campaign` when profiling is
+    enabled, after the campaign span closes.  ``spans`` holds the
+    campaign's span-path deltas (``path -> [count, seconds]``); ``ops``
+    holds one row per (phase path, op kind, rank) with the attributed
+    FP-instruction count, call count and wall seconds.  Rendered by the
+    ``obs-profile`` CLI and the dashboard's flamegraph section.
+    """
+
+    type: ClassVar[str] = "campaign_profile"
+
+    app: str
+    wall_s: float                   # campaign span wall time
+    spans: dict[str, list[float]]   # span path -> [count, seconds]
+    ops: list[dict]                 # {"phase","kind","rank","ops","calls","seconds"}
 
 
 @dataclass(frozen=True)
@@ -250,6 +292,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
     for cls in (
         CampaignStarted, CampaignFinished, CampaignResumed, CampaignConverged,
+        CampaignPlanRevised, CampaignProfile,
         CheckpointWritten, TrialFinished, FaultInjected, TrialProvenance,
         CacheHit, CacheMiss, CacheWrite, CacheCorrupt, SchedulerDeadlock,
         SpanEnd,

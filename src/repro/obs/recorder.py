@@ -25,12 +25,29 @@ Metrics model
 -------------
 * **counters** — monotonically increasing totals (``fp.add.rank0``,
   ``cache.hit``), integer or float;
+* **gauges** — last-write-wins values (``campaign.trials_planned``,
+  ``campaign.trials_done``), the live-telemetry view of "where is the
+  run right now";
 * **histograms** — lists of observed samples
   (``taint.contamination_spread``, ``scheduler.blocked_ranks``);
 * **spans** — nested wall-clock phases.  ``span("campaign")`` /
   ``span("trial")`` / ``span("inject")`` nest into slash-joined paths
   (``campaign/trial/inject``); each close accumulates (count, total
-  seconds) per path and emits a :class:`~repro.obs.events.SpanEnd`.
+  seconds) per path and emits a :class:`~repro.obs.events.SpanEnd`;
+* **profile** — the hot-path profiler's attribution table, keyed
+  ``(path, op kind, rank) -> [ops, calls, seconds]``.  Populated only
+  while :attr:`Recorder.profiling` is set (see
+  :mod:`repro.obs.profiler`); ``path`` extends the span path with
+  lightweight *profiler frames* (:meth:`Recorder.push_frame`) that cost
+  a list append and emit no events.
+
+Thread safety
+-------------
+The live telemetry server (:mod:`repro.obs.live`) reads a recorder from
+its own thread while a campaign writes.  The hot path stays lock-free;
+:meth:`snapshot` instead retries the rare ``RuntimeError`` CPython
+raises when a dict or deque is resized mid-copy, so readers always get
+a consistent-enough copy without the writers paying anything.
 """
 
 from __future__ import annotations
@@ -49,18 +66,49 @@ __all__ = [
 ]
 
 
+def _copy_racing(mapping: dict, value_copy: Callable | None = None) -> dict:
+    """Copy a dict that another thread may be resizing concurrently.
+
+    CPython raises ``RuntimeError`` when a dict grows during iteration;
+    a bounded retry loop is cheaper (and hot-path-free) than locking
+    every counter increment.  Falls back to a key-by-key copy if the
+    writer outruns every retry.
+    """
+    for _ in range(64):
+        try:
+            if value_copy is None:
+                return dict(mapping)
+            return {k: value_copy(v) for k, v in mapping.items()}
+        except RuntimeError:
+            continue
+    out: dict = {}
+    for key in list(mapping):
+        value = mapping.get(key)
+        if value is not None:
+            out[key] = value_copy(value) if value_copy else value
+    return out
+
+
 @dataclass
 class ObsSnapshot:
     """Picklable aggregate of one recorder's state (plus buffered events).
 
     Produced by :meth:`Recorder.snapshot` in a worker process and merged
-    into the parent's recorder with :meth:`Recorder.absorb`.
+    into the parent's recorder with :meth:`Recorder.absorb`.  ``profile``
+    carries the hot-path profiler's attribution rows so per-(phase, op
+    kind, rank) data survives worker aggregation exactly like counters
+    do; it stays out of checkpoint files (wall times are not
+    deterministic, and checkpoint bytes must not depend on whether
+    profiling was on).
     """
 
     counters: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, list[float]] = field(default_factory=dict)
     span_totals: dict[str, list[float]] = field(default_factory=dict)
     events: list[Event] = field(default_factory=list)
+    profile: dict[tuple[str, str, int], list[float]] = field(
+        default_factory=dict
+    )
 
 
 class _NullSpan:
@@ -87,17 +135,27 @@ class Recorder:
         enabled: bool | None = None,
         clock: Callable[[], float] = time.perf_counter,
         span_prefix: Sequence[str] = (),
+        profiling: bool = False,
     ):
         self.sinks: list[Sink] = list(sinks)
         #: master switch — instrumentation sites test this one attribute.
         self.enabled: bool = bool(self.sinks) if enabled is None else enabled
+        #: hot-path profiler switch; meaningful only while ``enabled``.
+        #: Profiled objects (FPOps, the scheduler) resolve it once per
+        #: instance, so the disabled path stays one attribute test.
+        self.profiling: bool = profiling
         self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
         self.histograms: dict[str, list[float]] = {}
         #: span path -> [count, total_seconds]
         self.span_totals: dict[str, list[float]] = {}
+        #: (path, op kind, rank) -> [ops, calls, seconds]
+        self.profile: dict[tuple[str, str, int], list[float]] = {}
         #: ``span_prefix`` seeds the nesting so a worker's trial spans
         #: report the same paths as the parent's (never closed here).
         self._span_stack: list[str] = list(span_prefix)
+        #: profiler frames nested below the span stack (no events).
+        self._prof_stack: list[str] = []
         self._clock = clock
 
     # ------------------------------------------------------------------
@@ -109,11 +167,53 @@ class Recorder:
             return
         self.counters[name] = self.counters.get(name, 0) + value
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
     def observe(self, name: str, value: float) -> None:
         """Append ``value`` to histogram ``name`` (no-op while disabled)."""
         if not self.enabled:
             return
         self.histograms.setdefault(name, []).append(value)
+
+    # ------------------------------------------------------------------
+    # hot-path profiling
+    # ------------------------------------------------------------------
+    def push_frame(self, name: str) -> None:
+        """Enter a profiler frame: extends the attribution path only.
+
+        Unlike :meth:`span`, a frame emits no event and touches no
+        aggregate on exit — it exists so :meth:`profile_op` calls made
+        inside it attribute to a deeper path (e.g. the scheduler's
+        ``advance`` frame under ``campaign/trial/inject``).  Callers
+        must pair it with :meth:`pop_frame` in a ``finally``.
+        """
+        self._prof_stack.append(name)
+
+    def pop_frame(self) -> None:
+        """Leave the innermost profiler frame."""
+        self._prof_stack.pop()
+
+    def profile_op(self, kind: str, rank: int, ops: float, seconds: float) -> None:
+        """Attribute ``ops`` instructions / ``seconds`` wall time.
+
+        The attribution path is the current span path extended by any
+        profiler frames; one row accumulates per ``(path, kind, rank)``.
+        No-op unless :attr:`profiling` is set (hot callers cache the
+        check per instance and never reach here while off).
+        """
+        if not self.profiling:
+            return
+        path = "/".join((*self._span_stack, *self._prof_stack))
+        agg = self.profile.get((path, kind, rank))
+        if agg is None:
+            agg = self.profile.setdefault((path, kind, rank), [0.0, 0, 0.0])
+        agg[0] += ops
+        agg[1] += 1
+        agg[2] += seconds
 
     # ------------------------------------------------------------------
     # spans
@@ -169,21 +269,23 @@ class Recorder:
 
         ``events`` lets the caller attach the buffered event stream of a
         :class:`~repro.obs.sinks.MemorySink` so the parent can re-emit
-        it in order.
+        it in order.  Safe to call from another thread while this
+        recorder is being written (see *Thread safety* above).
         """
         return ObsSnapshot(
-            counters=dict(self.counters),
-            histograms={k: list(v) for k, v in self.histograms.items()},
-            span_totals={k: list(v) for k, v in self.span_totals.items()},
+            counters=_copy_racing(self.counters),
+            histograms=_copy_racing(self.histograms, list),
+            span_totals=_copy_racing(self.span_totals, list),
             events=list(events),
+            profile=_copy_racing(self.profile, list),
         )
 
     def absorb(self, snapshot: ObsSnapshot, emit_events: bool = True) -> None:
         """Merge a worker's :class:`ObsSnapshot` into this recorder.
 
-        Counters add, histograms extend, span totals accumulate, and the
-        snapshot's events are re-emitted to this recorder's sinks in
-        their original order.  No-op while disabled.
+        Counters add, histograms extend, span totals and profile rows
+        accumulate, and the snapshot's events are re-emitted to this
+        recorder's sinks in their original order.  No-op while disabled.
         """
         if not self.enabled:
             return
@@ -195,6 +297,11 @@ class Recorder:
             agg = self.span_totals.setdefault(path, [0, 0.0])
             agg[0] += count
             agg[1] += total
+        for key, (ops, calls, seconds) in snapshot.profile.items():
+            agg = self.profile.setdefault(key, [0.0, 0, 0.0])
+            agg[0] += ops
+            agg[1] += calls
+            agg[2] += seconds
         if emit_events:
             for event in snapshot.events:
                 self.emit(event)

@@ -158,6 +158,9 @@ def render_metrics_summary(recorder: Recorder) -> str:
     if recorder.counters:
         rows = [(k, recorder.counters[k]) for k in sorted(recorder.counters)]
         sections.append(format_table(["counter", "value"], rows, title="Counters"))
+    if recorder.gauges:
+        rows = [(k, recorder.gauges[k]) for k in sorted(recorder.gauges)]
+        sections.append(format_table(["gauge", "value"], rows, title="Gauges"))
     if recorder.histograms:
         rows = []
         for name in sorted(recorder.histograms):

@@ -1,12 +1,14 @@
 """Event sinks: where emitted observability events go.
 
-Three implementations cover the paper-reproduction workflow:
+Four implementations cover the paper-reproduction workflow:
 
 * :class:`JsonlSink` — one JSON object per line, replayable with
   :func:`load_trace` and renderable with ``obs-report``;
 * :class:`MemorySink` — in-process list, for tests and programmatic use;
+* :class:`RingBufferSink` — bounded in-memory tail, backing the live
+  telemetry server's ``/events`` endpoint and on-demand dashboard;
 * :class:`ProgressSink` — throttled single-line stderr progress
-  (``trial 512/2000 · sdc=3.1% · 41 trials/s``).
+  (``trial 512/2000 · sdc=3.1% · 41 trials/s · eta 0:12``).
 
 A sink is anything with ``write(event)`` and ``close()``; the recorder
 never interprets events itself.
@@ -17,17 +19,22 @@ from __future__ import annotations
 import json
 import sys
 import time
+from collections import deque
 from pathlib import Path
 from typing import Callable, Protocol, TextIO
 
 from repro.obs.events import (
+    CampaignPlanRevised,
     CampaignStarted,
     Event,
     TrialFinished,
     event_from_dict,
 )
 
-__all__ = ["Sink", "JsonlSink", "MemorySink", "ProgressSink", "load_trace"]
+__all__ = [
+    "Sink", "JsonlSink", "MemorySink", "ProgressSink", "RingBufferSink",
+    "load_trace",
+]
 
 
 class Sink(Protocol):
@@ -53,6 +60,55 @@ class MemorySink:
     def of(self, cls: type[Event]) -> list[Event]:
         """Events of one class, in emission order."""
         return [e for e in self.events if isinstance(e, cls)]
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory (live-telemetry tail).
+
+    The campaign thread appends lock-free — ``deque.append`` with a
+    ``maxlen`` is atomic under CPython — while the telemetry server's
+    handler threads read via :meth:`tail`, which retries the rare
+    ``RuntimeError`` raised when an append lands mid-iteration.  Bounded
+    by construction, so bulky event streams (per-trial provenance) can
+    be buffered for a live dashboard without growing with campaign size.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[Event] = deque(maxlen=capacity)
+        self._written = 0
+
+    def write(self, event: Event) -> None:
+        self._written += 1
+        self._buf.append(event)
+
+    def close(self) -> None:
+        return None
+
+    @property
+    def written(self) -> int:
+        """Total events ever written (dropped = written - len(tail))."""
+        return self._written
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring's head."""
+        return max(0, self._written - len(self._buf))
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The most recent events, oldest first (all kept when n=None)."""
+        events: list[Event] = []
+        for _ in range(64):
+            try:
+                events = list(self._buf)
+                break
+            except RuntimeError:  # appended to while copying — retry
+                continue
+        if n is not None:
+            events = events[-n:] if n > 0 else []
+        return events
 
 
 class JsonlSink:
@@ -128,13 +184,26 @@ def load_trace(
     return events
 
 
+def _format_eta(seconds: float) -> str:
+    """``m:ss`` (or ``h:mm:ss``) wall-clock remaining, rounded to 1 s."""
+    total = max(0, int(round(seconds)))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
 class ProgressSink:
     """Single-line live progress on stderr, throttled to ``min_interval``.
 
     Tracks :class:`CampaignStarted` (total trials) and
     :class:`TrialFinished` (outcome tallies + rate); repaints at most
     once per interval, except the final trial, which always paints so
-    the line ends accurate.
+    the line ends accurate.  A wall-clock ETA is appended while trials
+    remain; :class:`CampaignPlanRevised` events (adaptive campaigns)
+    re-pin the denominator to the driver's current projection, so the
+    estimate tightens wave by wave instead of assuming the cap.
     """
 
     def __init__(
@@ -151,6 +220,7 @@ class ProgressSink:
         self._outcomes: dict[str, int] = {}
         self._t_start = 0.0
         self._t_last_paint = float("-inf")
+        self._len_last = 0
         self.paints = 0  # repaint count (observable for throttle tests)
 
     def write(self, event: Event) -> None:
@@ -159,6 +229,11 @@ class ProgressSink:
             self._done = 0
             self._outcomes = {}
             self._t_start = self._clock()
+            return
+        if isinstance(event, CampaignPlanRevised):
+            # adaptive campaigns: the projected final size replaces the
+            # cap, so done/total and the ETA track the real finish line
+            self._total = event.planned
             return
         if not isinstance(event, TrialFinished):
             return
@@ -178,11 +253,18 @@ class ProgressSink:
         dt = now - self._t_start
         rate = self._done / dt if dt > 0 else 0.0
         total = self._total if self._total else "?"
+        eta = ""
+        if self._total and 0 < self._done < self._total and rate > 0:
+            remaining = (self._total - self._done) / rate
+            eta = f" · eta {_format_eta(remaining)}"
         line = (
             f"\rtrial {self._done}/{total} · sdc={sdc_pct:.1f}% · "
-            f"{rate:.0f} trials/s"
+            f"{rate:.0f} trials/s{eta}"
         )
-        self._stream.write(line + ("\n" if newline else ""))
+        # pad over any longer previous paint (the ETA segment shrinks)
+        pad = " " * max(0, self._len_last - len(line))
+        self._len_last = len(line)
+        self._stream.write(line + pad + ("\n" if newline else ""))
         self._stream.flush()
 
     def close(self) -> None:

@@ -33,6 +33,7 @@ mechanism behind the paper's single-process propagation mass (Fig. 1).
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -237,6 +238,12 @@ class FPOps:
         recorder = get_recorder()
         if recorder.enabled:
             self._sink = _MeteredSink(self._sink, recorder, self.rank)
+        # Hot-path profiler, also resolved once per handle: None keeps
+        # every traced operation at a single attribute test; set, each
+        # operation is timed and attributed per (phase, op kind, rank).
+        self._prof = (
+            recorder if recorder.enabled and recorder.profiling else None
+        )
 
     # ------------------------------------------------------------------
     # provenance
@@ -345,6 +352,17 @@ class FPOps:
         is the real execution — and is applied to *both* paths, mirroring
         how a real faulty run takes one concrete control path.
         """
+        prof = self._prof
+        if prof is None:
+            return self._where_impl(cond, a, b)
+        t0 = perf_counter()
+        out = self._where_impl(cond, a, b)
+        prof.profile_op(
+            OpKind.OTHER.value, self.rank, out.size, perf_counter() - t0
+        )
+        return out
+
+    def _where_impl(self, cond: np.ndarray, a, b) -> TArray:
         ta, tb = as_tarray(a), as_tarray(b)
         g = np.where(cond, ta.golden, tb.golden)
         self._sink.account(self.rank, self._region, OpKind.OTHER, int(g.size))
@@ -368,6 +386,16 @@ class FPOps:
     # ------------------------------------------------------------------
     def sum(self, a) -> TArray:
         """Reduce-sum of all lanes (``n - 1`` candidate ADD instructions)."""
+        prof = self._prof
+        if prof is None:
+            return self._sum_impl(a)
+        t0 = perf_counter()
+        out = self._sum_impl(a)
+        ops = max(as_tarray(a).size - 1, 0)
+        prof.profile_op(OpKind.ADD.value, self.rank, ops, perf_counter() - t0)
+        return out
+
+    def _sum_impl(self, a) -> TArray:
         ta = as_tarray(a)
         n = ta.size
         injections = self._sink.account(
@@ -421,6 +449,30 @@ class FPOps:
         ``data`` may be a TArray (e.g. a matrix assembled by traced FE
         computation in MiniFE) or a plain constant array.
         """
+        prof = self._prof
+        if prof is None:
+            return self._csr_matvec_impl(data, indices, indptr, x)
+        t0 = perf_counter()
+        out = self._csr_matvec_impl(data, indices, indptr, x)
+        dt = perf_counter() - t0
+        indptr_arr = np.asarray(indptr)
+        nnz = int(indptr_arr[-1])
+        adds = int(np.maximum(np.diff(indptr_arr) - 1, 0).sum())
+        total = nnz + adds
+        if total:
+            # one timed call, two instruction kinds: split the wall time
+            # in proportion to the multiply/add instruction counts
+            prof.profile_op(
+                OpKind.MUL.value, self.rank, nnz, dt * nnz / total
+            )
+            prof.profile_op(
+                OpKind.ADD.value, self.rank, adds, dt * adds / total
+            )
+        return out
+
+    def _csr_matvec_impl(
+        self, data, indices: np.ndarray, indptr: np.ndarray, x
+    ) -> TArray:
         tdata, tx = as_tarray(data), as_tarray(x)
         indices = np.asarray(indices)
         indptr = np.asarray(indptr)
@@ -503,6 +555,18 @@ class FPOps:
         order; injection semantics match :meth:`sum` (sequential-order
         decomposition with rounding parity on both paths).
         """
+        prof = self._prof
+        if prof is None:
+            return self._segment_sum_impl(values, indptr)
+        t0 = perf_counter()
+        out = self._segment_sum_impl(values, indptr)
+        dt = perf_counter() - t0
+        indptr_arr = np.asarray(indptr)
+        adds = int(np.maximum(np.diff(indptr_arr) - 1, 0).sum())
+        prof.profile_op(OpKind.ADD.value, self.rank, adds, dt)
+        return out
+
+    def _segment_sum_impl(self, values, indptr: np.ndarray) -> TArray:
         tv = as_tarray(values)
         indptr = np.asarray(indptr)
         nnz = int(indptr[-1])
@@ -552,6 +616,15 @@ class FPOps:
     # internals
     # ------------------------------------------------------------------
     def _ewise2(self, ufunc, kind: OpKind, a, b) -> TArray:
+        prof = self._prof
+        if prof is None:
+            return self._ewise2_impl(ufunc, kind, a, b)
+        t0 = perf_counter()
+        out = self._ewise2_impl(ufunc, kind, a, b)
+        prof.profile_op(kind.value, self.rank, out.size, perf_counter() - t0)
+        return out
+
+    def _ewise2_impl(self, ufunc, kind: OpKind, a, b) -> TArray:
         ta, tb = as_tarray(a), as_tarray(b)
         g = ufunc(ta.golden, tb.golden)
         injections = self._sink.account(self.rank, self._region, kind, g.size)
@@ -585,6 +658,17 @@ class FPOps:
         return out
 
     def _ewise1(self, ufunc, a) -> TArray:
+        prof = self._prof
+        if prof is None:
+            return self._ewise1_impl(ufunc, a)
+        t0 = perf_counter()
+        out = self._ewise1_impl(ufunc, a)
+        prof.profile_op(
+            OpKind.OTHER.value, self.rank, out.size, perf_counter() - t0
+        )
+        return out
+
+    def _ewise1_impl(self, ufunc, a) -> TArray:
         ta = as_tarray(a)
         self._sink.account(self.rank, self._region, OpKind.OTHER, ta.size)
         g = ufunc(ta.golden)
@@ -596,6 +680,18 @@ class FPOps:
         return out
 
     def _reduce_passive(self, reducer, a) -> TArray:
+        prof = self._prof
+        if prof is None:
+            return self._reduce_passive_impl(reducer, a)
+        t0 = perf_counter()
+        out = self._reduce_passive_impl(reducer, a)
+        ops = max(as_tarray(a).size - 1, 0)
+        prof.profile_op(
+            OpKind.OTHER.value, self.rank, ops, perf_counter() - t0
+        )
+        return out
+
+    def _reduce_passive_impl(self, reducer, a) -> TArray:
         ta = as_tarray(a)
         self._sink.account(
             self.rank, self._region, OpKind.OTHER, max(ta.size - 1, 0)

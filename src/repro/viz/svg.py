@@ -13,7 +13,7 @@ from typing import Sequence
 
 __all__ = [
     "SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart",
-    "bar_chart_with_ci", "heatmap", "PALETTE",
+    "bar_chart_with_ci", "flamegraph", "heatmap", "PALETTE",
 ]
 
 #: Colour cycle for series (colour-blind-safe subset).
@@ -242,6 +242,42 @@ def heatmap(
         canvas.text(
             x0 + (ci + 0.5) * cell_w, y0 + n_rows * cell_h + 14, label, size=9
         )
+    return canvas
+
+
+def flamegraph(
+    frames: Sequence[tuple[int, float, float, str]],
+    title: str,
+    width: int = 920,
+    row_height: int = 22,
+) -> SvgCanvas:
+    """Flamegraph-style stacked span boxes (profiler span tree).
+
+    Each frame is ``(depth, x0, w, label)`` with ``x0``/``w`` as
+    fractions of the drawable width — layout is the caller's job
+    (:func:`repro.obs.profiler.flamegraph_frames`); this draws boxes
+    coloured by depth and labels the ones wide enough to hold text.
+    """
+    depth_max = max((d for d, *_ in frames), default=0)
+    x0, y0 = 16, 46
+    height = y0 + (depth_max + 1) * row_height + 16
+    canvas = SvgCanvas(width, height)
+    drawable = width - 2 * x0
+    canvas.text(width / 2, 22, title, size=14)
+    for depth, fx, fw, label in frames:
+        w = fw * drawable
+        if w < 0.5:
+            continue
+        x = x0 + fx * drawable
+        y = y0 + depth * row_height
+        canvas.rect(
+            x, y, w, row_height - 2,
+            fill=PALETTE[depth % len(PALETTE)], stroke="white", opacity=0.88,
+        )
+        # ~6.2 px/char at size 10; label only boxes that can fit text
+        if w >= 6.2 * len(label) + 6:
+            canvas.text(x + 5, y + row_height / 2 + 3, label, size=10,
+                        anchor="start", fill="#fff")
     return canvas
 
 

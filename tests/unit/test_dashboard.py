@@ -114,12 +114,15 @@ class TestDashboardCli:
         assert main(["obs-dashboard", str(empty)]) == 1
         assert "no decodable events" in capsys.readouterr().err
 
-    def test_cli_warns_on_partial_line(self, tmp_path, capsys):
+    def test_cli_warns_once_per_file_on_partial_lines(self, tmp_path, capsys):
         trace = _write_trace(tmp_path)
         with trace.open("a") as fh:
-            fh.write('{"type": "trial_fin')
+            fh.write('not json\n' * 3 + '{"type": "trial_fin')
         assert main(["obs-dashboard", str(trace)]) == 0
-        assert "skipping partial/corrupt line" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # deduplicated: one summary line per file, not one per bad line
+        assert f"{trace}: skipped 4 partial/corrupt lines" in err
+        assert err.count("warning") == 1
 
     def test_quiet_progress_conflict_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -44,3 +44,27 @@ class TestDocsReferenceRealCode:
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")
             assert callable(module.run)
+
+    def test_observability_doc_covers_live_and_profiler(self):
+        text = (ROOT / "docs" / "observability.md").read_text()
+        assert "## Live telemetry" in text
+        assert "## Profiling the hot path" in text
+        # performance.md points profiling-minded readers at both anchors
+        perf = (ROOT / "docs" / "performance.md").read_text()
+        assert "observability.md#profiling-the-hot-path" in perf
+        assert "observability.md#live-telemetry" in perf
+
+    def test_documented_cli_flags_exist(self):
+        """Flags and subcommands the docs advertise must parse."""
+        import io
+        from contextlib import redirect_stdout
+
+        from repro.experiments.cli import main
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = buf.getvalue()
+        for flag in ("--serve-obs", "--profile", "--trace-out",
+                     "--progress", "--metrics-summary", "obs-profile"):
+            assert flag in help_text, flag

@@ -32,6 +32,17 @@ class TestRecorder:
         rec.counter("y", 2.5)
         assert rec.counters == {"x": 5, "y": 2.5}
 
+    def test_gauges_last_write_wins(self):
+        rec = obs.Recorder(enabled=True)
+        rec.gauge("campaign.trials_done", 3)
+        rec.gauge("campaign.trials_done", 9)
+        assert rec.gauges == {"campaign.trials_done": 9}
+
+    def test_gauges_noop_while_disabled(self):
+        rec = obs.Recorder(enabled=False)
+        rec.gauge("g", 1)
+        assert rec.gauges == {}
+
     def test_histograms_accumulate(self):
         rec = obs.Recorder(enabled=True)
         rec.observe("h", 1)
@@ -222,6 +233,12 @@ class TestReport:
         assert "cache.hits" in summary
         assert "taint.contamination_spread" in summary
         assert "campaign" in summary
+
+    def test_metrics_summary_includes_gauges(self):
+        rec = obs.Recorder(enabled=True)
+        rec.gauge("campaign.trials_done", 7)
+        summary = render_metrics_summary(rec)
+        assert "Gauges" in summary and "campaign.trials_done" in summary
 
     def test_metrics_summary_empty(self):
         assert "no metrics" in render_metrics_summary(obs.Recorder(enabled=True))
