@@ -14,6 +14,12 @@ default interval (``repro.engine.DEFAULT_CHECKPOINT_EVERY``); outside
 ``--quick`` mode the benchmark asserts the durability tax stays under
 5% of serial wall-clock.
 
+The same CG deployment then runs lane-vectorized (``lanes=8/32``:
+N trials batched into one pass through the app, see
+docs/performance.md), verifies bit-identical joints, and *asserts* a
+>= 4x trials/sec speedup at ``lanes=32`` — deterministic single-process
+work, so enforced in ``--quick`` mode too.
+
 An adaptive (``ci_halfwidth``) MG campaign then runs against the
 fixed-N worst-case budget for the same ±0.08 precision target; the
 benchmark asserts it converges with >= 25% fewer trials (deterministic,
@@ -49,6 +55,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 REQUIRED_SPEEDUP = 1.8
 ASSERT_MIN_CPUS = 4
+
+# Lane vectorization is single-process numpy work — no cores to wait
+# on, no spawn overhead — so its floor holds on any machine and is
+# asserted even in --quick mode.
+LANES_REQUIRED_SPEEDUP = 4.0
+LANE_COUNTS = (8, 32)
 MAX_CHECKPOINT_OVERHEAD = 0.05  # durable progress must cost < 5% serial
 
 # The profiler's disabled path (one ``is None`` test per instrumented
@@ -90,6 +102,58 @@ def _time_adaptive(app, deployment, jobs: int) -> tuple[float, dict, object]:
         wall = time.perf_counter() - t0
     (converged,) = mem.of(CampaignConverged)
     return wall, result.joint, converged
+
+
+def _bench_lanes(app, nprocs: int, quick: bool) -> tuple[dict, bool]:
+    """Trials/sec of the lane-vectorized pass vs the scalar loop."""
+    from repro.fi.campaign import Deployment, run_campaign
+
+    trials = 96 if quick else 256
+    deployment = Deployment(nprocs=nprocs, trials=trials, seed=123)
+    repeats = 2 if quick else 3
+    print(f"bench_lanes: app={app.name} nprocs={nprocs} trials={trials} "
+          f"(best of {repeats})")
+
+    run_campaign(app, deployment, jobs=1, lanes=1)  # warm caches/JIT-free
+    times: dict[int, float] = {}
+    joints: dict[int, dict] = {}
+    for lanes in (1, *LANE_COUNTS):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_campaign(app, deployment, jobs=1, lanes=lanes)
+            best = min(best, time.perf_counter() - t0)
+        times[lanes] = best
+        joints[lanes] = result.joint
+
+    parity_ok = all(
+        joints[lanes] == joints[1] and list(joints[lanes]) == list(joints[1])
+        for lanes in LANE_COUNTS
+    )
+    speedups = {lanes: times[1] / times[lanes] for lanes in LANE_COUNTS}
+    for lanes in (1, *LANE_COUNTS):
+        note = (f"  speedup {speedups[lanes]:.2f}x" if lanes != 1 else "")
+        print(f"  lanes={lanes:<3d} {times[lanes]:7.2f}s  "
+              f"{trials / times[lanes]:7.1f} trials/s{note}")
+    ok = parity_ok
+    if not parity_ok:
+        print("FAIL: lane-vectorized joint diverged from lanes=1",
+              file=sys.stderr)
+    top = max(LANE_COUNTS)
+    if speedups[top] < LANES_REQUIRED_SPEEDUP:
+        print(f"FAIL: lanes={top} speedup {speedups[top]:.2f}x < "
+              f"{LANES_REQUIRED_SPEEDUP}x", file=sys.stderr)
+        ok = False
+    record = {
+        "trials": trials,
+        "times_s": {str(n): round(t, 4) for n, t in times.items()},
+        "trials_per_s": {
+            str(n): round(trials / t, 1) for n, t in times.items()
+        },
+        "speedup": {str(n): round(s, 3) for n, s in speedups.items()},
+        "parity_ok": parity_ok,
+    }
+    return record, ok
 
 
 def _bench_adaptive(quick: bool) -> tuple[dict, bool]:
@@ -293,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         app, deployment, serial_time, serial_joint
     )
 
+    lanes_record, lanes_ok = _bench_lanes(app, args.nprocs, args.quick)
+
     adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
 
     record = {
@@ -313,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "parity_ok": parity_ok,
         "profile": profile_record,
+        "lanes": lanes_record,
         "adaptive": adaptive_record,
     }
 
@@ -339,7 +406,7 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: parallel joint distribution diverged from serial",
               file=sys.stderr)
         return 1
-    if not profile_ok or not adaptive_ok:
+    if not profile_ok or not lanes_ok or not adaptive_ok:
         return 1
     if not drift_ok:
         return 1

@@ -83,6 +83,19 @@ class AppSpec(abc.ABC):
         return execute_spmd(self.program, nprocs)[0]
 
     @staticmethod
-    def _as_output(**values: float) -> dict[str, float]:
-        """Build the rank-0 output dict from faulty-path scalars."""
-        return {k: float(v) for k, v in values.items()}
+    def _as_output(**values) -> dict:
+        """Build the rank-0 output dict.
+
+        TArray values pass through untouched: the runner normalizes them
+        to plain faulty-path floats on the scalar path, and the lane
+        batcher extracts one float per lane — returning the TArray (via
+        :meth:`~repro.taint.tarray.TArray.scalar_map` for guarded math
+        like sqrt) instead of reading ``.value`` keeps all lanes alive
+        through the final reduction.
+        """
+        from repro.taint.tarray import TArray
+
+        return {
+            k: v if isinstance(v, TArray) else float(v)
+            for k, v in values.items()
+        }

@@ -131,10 +131,11 @@ class CGApp(AppSpec):
             inv_norm = fp.div(1.0, fp.sqrt(znorm2))
             x = fp.mul(z, inv_norm)
         if rank == 0:
-            rn = rnorm2.value
             return self._as_output(
-                zeta=zeta.value,
-                rnorm=math.sqrt(rn) if rn >= 0 else math.nan,
+                zeta=zeta,
+                rnorm=rnorm2.scalar_map(
+                    lambda rn: math.sqrt(rn) if rn >= 0 else math.nan
+                ),
             )
         return None
 

@@ -292,7 +292,10 @@ class FTApp(AppSpec):
         u_hat = yield from self._fft3d(fp, comm, rank, size, u, inverse=False)
         factor = self._factor[z0 : z0 + n2]
         inv_scale = 1.0 / (nz * ny * nx)
-        checksums: list[float] = []
+        # Checksums stay TArrays: the runner flattens them to floats on
+        # the scalar path, and reading .value here would collapse lane
+        # batches every step.
+        checksums = []
         for _ in range(self.steps):
             u_hat = _Complex(fp.mul(u_hat.re, factor), fp.mul(u_hat.im, factor))
             w = yield from self._fft3d(fp, comm, rank, size, u_hat, inverse=True)
@@ -303,7 +306,7 @@ class FTApp(AppSpec):
             tot_re = yield comm.allreduce(s_re, op="sum")
             tot_im = yield comm.allreduce(s_im, op="sum")
             tot_mag = yield comm.allreduce(s_mag, op="sum")
-            checksums.extend([tot_re.value, tot_im.value, tot_mag.value])
+            checksums.extend([tot_re, tot_im, tot_mag])
         if rank == 0:
             return {f"checksum_{i}": c for i, c in enumerate(checksums)}
         return None

@@ -146,7 +146,7 @@ class LUApp(AppSpec):
             total = yield comm.allreduce(local, op="sum")
             rsdnm = fp.sqrt(total)
         if rank == 0:
-            return self._as_output(rsdnm=rsdnm.value)
+            return self._as_output(rsdnm=rsdnm)
         return None
 
     def _halo(self, comm, rank, size, planes):

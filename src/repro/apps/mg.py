@@ -103,7 +103,7 @@ class MGApp(AppSpec):
             total = yield comm.allreduce(local, op="sum")
             rnm2 = fp.sqrt(total)
         if rank == 0:
-            return self._as_output(rnm2=rnm2.value)
+            return self._as_output(rnm2=rnm2)
         return None
 
     # ------------------------------------------------------------------

@@ -271,10 +271,10 @@ class MiniFEApp(AppSpec):
         rnorm2 = yield from self._pdot(comm, fp, r, r)
         xnorm2 = yield from self._pdot(comm, fp, x, x)
         if rank == 0:
-            rn, xn = rnorm2.value, xnorm2.value
+            guarded_sqrt = lambda v: math.sqrt(v) if v >= 0 else math.nan
             return self._as_output(
-                rnorm=math.sqrt(rn) if rn >= 0 else math.nan,
-                xnorm=math.sqrt(xn) if xn >= 0 else math.nan,
+                rnorm=rnorm2.scalar_map(guarded_sqrt),
+                xnorm=xnorm2.scalar_map(guarded_sqrt),
             )
         return None
 

@@ -215,6 +215,7 @@ def run_adaptive_trials(
     target: float,
     keep_records: bool = False,
     jobs: int = 1,
+    lanes: int = 1,
     checkpoint_every: int | None = None,
     resume: bool = False,
 ) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
@@ -222,7 +223,12 @@ def run_adaptive_trials(
 
     ``deployment.trials`` acts as the trial *cap*; execution stops at
     the first wave boundary where every outcome's Wilson half-width is
-    at or below ``target``.  Checkpointing and resume behave exactly as
+    at or below ``target``.  Wave boundaries are deliberately
+    lanes-invariant (the executed trial set must not depend on
+    ``lanes`` — see the reproducibility contract above); lane blocks
+    subdivide each wave's chunks at execution time, with
+    :data:`MIN_WAVE_TRIALS` keeping every wave large enough to fill
+    whole lane batches.  Checkpointing and resume behave exactly as
     in :func:`~repro.engine.core.run_trials`, with the chunk layout
     extended wave by wave (the manifest's ``planned`` count tracks how
     far the layout reaches).  Emits one
@@ -260,6 +266,7 @@ def run_adaptive_trials(
         # full traces
         obs_enabled=obs.enabled or checkpointing,
         profiling=obs.enabled and obs.profiling,
+        lanes=lanes,
     )
 
     trials_durable = sum(hi - lo for lo, hi in recovered)

@@ -96,6 +96,11 @@ class EngineContext:
     #: hot-path profiling (repro.obs.profiler) — carried to workers so a
     #: chunk's recorder attributes op time exactly like the parent's.
     profiling: bool = False
+    #: trials batched per lane-vectorized pass (repro.fi.lanes).  Chunk
+    #: planning ignores this — lane blocks subdivide chunks at execution
+    #: time, so chunk layout (and thus checkpoint identity) is
+    #: lanes-invariant.
+    lanes: int = 1
 
 
 @dataclass
@@ -145,6 +150,10 @@ def execute_chunk(
     """
     from repro.fi.campaign import run_one_trial  # circular at import time
 
+    # Profiling runs must meter per-trial op counts/time, which a shared
+    # batched pass cannot attribute — profiling forces the scalar path.
+    effective_lanes = 1 if ctx.profiling else max(1, ctx.lanes)
+
     mem: MemorySink | None = None
     if not capture:
         rec = get_recorder()
@@ -160,14 +169,27 @@ def execute_chunk(
     joint: dict[tuple[Outcome, int, bool], int] = {}
     records: list[TrialRecord] = []
     with recording(rec):
-        for trial in range(start, stop):
-            record = run_one_trial(
-                ctx.app, ctx.deployment, ctx.profile, ctx.reference, trial, rec
-            )
-            key = (record.outcome, record.n_contaminated, record.activated)
-            joint[key] = joint.get(key, 0) + 1
-            if ctx.keep_records:
-                records.append(record)
+        trial = start
+        while trial < stop:
+            block_stop = min(stop, trial + effective_lanes)
+            if block_stop - trial == 1:
+                block_records = [run_one_trial(
+                    ctx.app, ctx.deployment, ctx.profile, ctx.reference,
+                    trial, rec,
+                )]
+            else:
+                from repro.fi.lanes import run_lane_block  # circular at import
+
+                block_records = run_lane_block(
+                    ctx.app, ctx.deployment, ctx.profile, ctx.reference,
+                    trial, block_stop, rec,
+                )
+            for record in block_records:
+                key = (record.outcome, record.n_contaminated, record.activated)
+                joint[key] = joint.get(key, 0) + 1
+                if ctx.keep_records:
+                    records.append(record)
+            trial = block_stop
     snapshot = rec.snapshot(events=mem.events) if mem is not None else None
     return ChunkPayload(
         start=start, stop=stop, joint=joint, records=records, obs=snapshot

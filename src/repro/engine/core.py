@@ -77,14 +77,16 @@ def run_trials(
     *,
     keep_records: bool = False,
     jobs: int = 1,
+    lanes: int = 1,
     checkpoint_every: int | None = None,
     resume: bool = False,
 ) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
     """Execute a deployment's trials; returns the merged ``(joint, records)``.
 
     Bit-identical to the classic serial loop for any ``jobs``, any
-    ``checkpoint_every``, and any interruption-and-resume pattern in
-    between.  ``checkpoint_every=N`` persists completed chunks of at
+    ``lanes`` (trials batched per lane-vectorized execution pass —
+    chunk layout stays lanes-invariant), any ``checkpoint_every``, and
+    any interruption-and-resume pattern in between.  ``checkpoint_every=N`` persists completed chunks of at
     most N trials as they finish; ``resume=True`` first recovers every
     chunk a previous (interrupted) process persisted and re-runs only
     the missing ones.  ``resume`` alone implies checkpointing at
@@ -148,6 +150,7 @@ def run_trials(
             # and still replay every recovered trial into the trace
             obs_enabled=obs.enabled or checkpointing,
             profiling=obs.enabled and obs.profiling,
+            lanes=lanes,
         )
         backend = select_backend(jobs, len(missing), capture=checkpointing)
         for payload in backend.run(ctx, missing):

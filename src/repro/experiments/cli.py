@@ -18,7 +18,9 @@ Besides the experiment harnesses, the CLI wires the observability layer
 
 ``--jobs N`` fans every campaign's trials over N worker processes
 (deterministic: results are bit-identical to serial; see
-docs/performance.md).  ``--checkpoint-every N`` makes campaign progress
+docs/performance.md).  ``--lanes N`` batches N trials into each
+lane-vectorized pass through the application — also bit-identical, and
+freely combined with ``--jobs``.  ``--checkpoint-every N`` makes campaign progress
 durable every N trials, and ``--resume`` restarts an interrupted run
 from its last checkpoint (see docs/engine.md).  ``--ci-halfwidth H``
 turns every campaign adaptive: ``--trials`` becomes a cap and each
@@ -201,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
              "Results are bit-identical for any N; see docs/performance.md",
     )
     parser.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="fault-injection trials batched per lane-vectorized pass "
+             "through the application (default: $REPRO_LANES or 1). "
+             "Results are bit-identical for any N; see docs/performance.md",
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="persist campaign progress every N trials; an interrupted run "
              "can then be resumed with --resume (see docs/engine.md)",
@@ -256,6 +264,13 @@ def main(argv: list[str] | None = None) -> int:
         # repro.fi.campaign.default_jobs), so one env write reaches every
         # deployment the experiment harnesses build.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    if args.lanes is not None:
+        if args.lanes < 1:
+            parser.error(f"--lanes must be >= 1, got {args.lanes}")
+        # Same env-var relay as --jobs: every campaign resolves its lane
+        # count via repro.fi.campaign.default_lanes.
+        os.environ["REPRO_LANES"] = str(args.lanes)
 
     if args.checkpoint_every is not None:
         if args.checkpoint_every < 1:

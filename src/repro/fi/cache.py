@@ -50,7 +50,8 @@ def deployment_key(deployment: Deployment) -> str:
     """Stable identity string for a deployment's *result*.
 
     Execution knobs that cannot change the outcome — ``jobs``,
-    ``checkpoint_every`` — are deliberately excluded: the same string
+    ``lanes``, ``checkpoint_every`` — are deliberately excluded: the
+    same string
     keys both the result cache and the engine's checkpoint store
     (:mod:`repro.engine.checkpoint`), so a campaign interrupted under
     one worker count can resume under another.

@@ -43,8 +43,9 @@ from repro.utils.validation import check_positive_int
 
 __all__ = [
     "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
-    "default_jobs", "default_checkpoint_every", "default_resume",
-    "default_ci_halfwidth", "with_resolved_ci", "AppProtocol",
+    "default_jobs", "default_lanes", "default_checkpoint_every",
+    "default_resume", "default_ci_halfwidth", "with_resolved_ci",
+    "AppProtocol",
 ]
 
 
@@ -59,6 +60,38 @@ def default_jobs() -> int:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def default_lanes() -> int:
+    """Shadow-execution lanes per pass: ``$REPRO_LANES``, falling back to 1.
+
+    1 means the classic one-trial-per-execution loop.  Any value
+    produces bit-identical records, events, and provenance (see
+    ``docs/performance.md``), so — like ``jobs`` — this only trades
+    wall-clock for memory.  A malformed or non-positive value warns once
+    on stderr and leaves lane batching off rather than aborting an
+    otherwise valid run.
+    """
+    raw = os.environ.get("REPRO_LANES")
+    if raw is None or raw == "":
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        print(
+            f"repro: warning: malformed REPRO_LANES={raw!r}; "
+            f"lane batching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    if value < 1:
+        print(
+            f"repro: warning: REPRO_LANES={value} is not positive; "
+            f"lane batching disabled",
+            file=sys.stderr,
+        )
+        return 1
+    return value
 
 
 def default_checkpoint_every() -> int | None:
@@ -155,6 +188,8 @@ class Deployment:
     max_steps: int | None = None        # scheduler runaway guard
     bits_per_error: int = 1             # >1 = multi-bit fault pattern
     jobs: int | None = None             # worker processes; None = $REPRO_JOBS
+    lanes: int | None = None            # trials batched per execution pass;
+                                        # None = $REPRO_LANES
     checkpoint_every: int | None = None  # trials per durable checkpoint;
                                          # None = $REPRO_CHECKPOINT_EVERY
     ci_halfwidth: float | None = None   # adaptive precision target; None =
@@ -167,6 +202,8 @@ class Deployment:
         check_positive_int(self.bits_per_error, "bits_per_error")
         if self.jobs is not None:
             check_positive_int(self.jobs, "jobs")
+        if self.lanes is not None:
+            check_positive_int(self.lanes, "lanes")
         if self.checkpoint_every is not None:
             check_positive_int(self.checkpoint_every, "checkpoint_every")
         if self.ci_halfwidth is not None and not 0.0 < self.ci_halfwidth < 0.5:
@@ -338,6 +375,15 @@ def _resolve_jobs(jobs: int | None, deployment: Deployment) -> int:
     return check_positive_int(jobs, "jobs")
 
 
+def _resolve_lanes(lanes: int | None, deployment: Deployment) -> int:
+    """Lane count precedence: call arg > ``Deployment.lanes`` > env."""
+    if lanes is None:
+        lanes = deployment.lanes
+    if lanes is None:
+        return default_lanes()
+    return check_positive_int(lanes, "lanes")
+
+
 def _resolve_checkpoint_every(
     checkpoint_every: int | None, deployment: Deployment
 ) -> int | None:
@@ -376,6 +422,7 @@ def run_campaign(
     deployment: Deployment,
     keep_records: bool = False,
     jobs: int | None = None,
+    lanes: int | None = None,
     checkpoint_every: int | None = None,
     resume: bool | None = None,
     ci_halfwidth: float | None = None,
@@ -394,7 +441,11 @@ def run_campaign(
     ``jobs`` > 1 fans the trials out over a spawn-safe worker pool; the
     result — including the ``joint`` distribution the disk cache
     persists — is bit-identical to the serial path for any worker
-    count.  ``checkpoint_every=N`` persists completed trial chunks as
+    count.  ``lanes=N`` batches N trials into one lane-vectorized pass
+    through the application (see ``docs/performance.md``) — records,
+    events, and provenance stay bit-identical to ``lanes=1``, and the
+    knob composes freely with ``jobs`` and checkpoint/resume.
+    ``checkpoint_every=N`` persists completed trial chunks as
     they finish, and ``resume=True`` recovers an interrupted campaign's
     durable chunks and re-runs only the missing ones — still
     bit-identical to an uninterrupted serial run (see ``docs/engine.md``).
@@ -407,6 +458,7 @@ def run_campaign(
     """
     deployment = with_resolved_ci(deployment, ci_halfwidth)
     n_jobs = _resolve_jobs(jobs, deployment)
+    n_lanes = _resolve_lanes(lanes, deployment)
     ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
     do_resume = default_resume() if resume is None else resume
     obs = get_recorder()
@@ -441,7 +493,7 @@ def run_campaign(
             joint, records = run_adaptive_trials(
                 app, deployment, profile, reference,
                 target=deployment.ci_halfwidth,
-                keep_records=keep_records, jobs=n_jobs,
+                keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
                 checkpoint_every=ckpt_every, resume=do_resume,
             )
         else:
@@ -449,7 +501,7 @@ def run_campaign(
 
             joint, records = run_trials(
                 app, deployment, profile, reference,
-                keep_records=keep_records, jobs=n_jobs,
+                keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
                 checkpoint_every=ckpt_every, resume=do_resume,
             )
         injection_time = time.perf_counter() - t1

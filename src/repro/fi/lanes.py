@@ -1,0 +1,422 @@
+"""Lane batching: N fault-injection trials in one pass through the app.
+
+:func:`run_lane_block` executes trials ``[start, stop)`` of a
+deployment as *lanes* of a single batched execution: one golden pass
+through the mini-app and the :mod:`repro.mpisim` scheduler, with each
+traced array carrying a stack of per-lane faulty shadows
+(:class:`repro.taint.laneops.LaneFPOps`).  The :class:`BatchTracer`
+merges every lane's injection plan into shared candidate-stream cursors
+— instruction accounting runs **once** for the whole block — and
+collects contamination marks, flip activations and provenance
+observations per lane.
+
+Semantics contract (docs/performance.md, "Lane vectorization"): records,
+observability events and provenance are byte-identical to running each
+trial alone.  Lanes whose faulty values would steer control flow off
+the golden path (a ``TArray.value``/``to_numpy`` read or an
+``fp.greater``/``fp.less`` comparison that disagrees) are *ejected* and
+re-executed on the classic scalar path; everything still in the batch
+shares the golden control flow, so one pass is exact for all of them.
+A batch that fails outright (any exception) falls back to scalar
+execution of the whole block — lanes are a pure fast path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.fi.outcomes import TrialRecord, classify_outcome
+from repro.fi.plan import InjectionPlan, PlannedFlip, sample_plan
+from repro.mpisim.runner import execute_spmd
+from repro.obs import FaultInjected, Recorder, TrialFinished, recording
+from repro.obs.provenance import FlipObservation, build_trial_provenance
+from repro.taint.laneops import LaneFPOps
+from repro.taint.tarray import TArray
+from repro.taint.tracer_api import LaneInjection, OpKind, Operand
+from repro.utils.rng import trial_seed
+
+import numpy as np
+
+__all__ = ["BatchTracer", "run_lane_block"]
+
+
+class _BatchCursor:
+    """One (rank, region) candidate stream walked for *all* lanes at once.
+
+    ``pending`` holds ``(index, lane, flip)`` entries sorted by
+    ``(index, lane)`` — the union of every lane's plan for this stream.
+    Because every lane in the batch executes the same (golden)
+    instruction stream, one shared position serves them all; each lane
+    sees exactly the windows its scalar cursor would have seen.
+    """
+
+    __slots__ = ("position", "pending", "next_index")
+
+    def __init__(self, entries: list[tuple[int, int, PlannedFlip]]):
+        self.position = 0
+        self.pending = entries
+        self.next_index = entries[0][0] if entries else None
+
+    def advance(self, count: int) -> list[tuple[int, PlannedFlip]]:
+        start = self.position
+        self.position += count
+        fired: list[tuple[int, PlannedFlip]] = []
+        while self.pending and self.pending[0][0] < self.position:
+            index, lane, flip = self.pending.pop(0)
+            assert index >= start, "plan indices must be strictly increasing"
+            fired.append((lane, flip))
+        self.next_index = self.pending[0][0] if self.pending else None
+        return fired
+
+    def drop_lanes(self, lanes: set[int]) -> None:
+        if not self.pending:
+            return
+        self.pending = [e for e in self.pending if e[1] not in lanes]
+        self.next_index = self.pending[0][0] if self.pending else None
+
+
+class BatchTracer:
+    """TraceSink coordinating ``k`` lanes of one batched execution.
+
+    Mirrors :class:`repro.fi.tracer.Tracer` per lane: activated flips,
+    flip observations, contaminated-rank sets and contamination
+    timelines are collected in per-lane lists, and
+    :meth:`lane_view` exposes one lane's slice with the scalar tracer's
+    interface (for classification and provenance).  The batch's own
+    golden/faulty pair never diverges, so the plain
+    :meth:`mark_contaminated` channel is a no-op; per-lane marks arrive
+    via :meth:`mark_lanes_from_op` (taint layer, metered) and
+    :meth:`mark_lanes_contaminated` (scheduler delivery, unmetered —
+    the scalar scheduler also bypasses the observability meter).
+    """
+
+    def __init__(self, plans: Sequence[InjectionPlan]):
+        self.plans = list(plans)
+        self.k = len(self.plans)
+        self.activated: list[list[PlannedFlip]] = [[] for _ in range(self.k)]
+        self.observations: list[list[FlipObservation]] = [[] for _ in range(self.k)]
+        #: rank -> (k,) bool: which lanes have seen rank contaminated
+        self._cont: dict[int, np.ndarray] = {}
+        #: rank -> contaminated-lane count (saturation short-circuit)
+        self._cont_count: dict[int, int] = {}
+        self.timelines: list[list[tuple[int, int]]] = [[] for _ in range(self.k)]
+        #: rank -> (k,) mark-call tallies (the scalar path's
+        #: ``taint.contaminated_reports.rank*`` counters, replayed later)
+        self._reports: dict[int, np.ndarray] = {}
+        self.ejected: set[int] = set()
+        self._ejected_mask = np.zeros(self.k, dtype=bool)
+        self.eject_reasons: dict[int, str] = {}
+        self._step_provider: Callable[[], int] | None = None
+        self._cursors: dict[tuple, _BatchCursor] = {}
+        merged: dict[tuple, list[tuple[int, int, PlannedFlip]]] = {}
+        for lane, plan in enumerate(self.plans):
+            for rank, region in {(f.rank, f.region) for f in plan.flips}:
+                merged.setdefault((rank, region), []).extend(
+                    (f.index, lane, f)
+                    for f in plan.for_rank_region(rank, region)
+                )
+        for key, entries in merged.items():
+            entries.sort(key=lambda e: (e[0], e[1]))
+            self._cursors[key] = _BatchCursor(entries)
+
+    # ------------------------------------------------------------------
+    # TraceSink interface
+    # ------------------------------------------------------------------
+    def account(self, rank, region, kind: OpKind, count: int):
+        if not kind.is_candidate or count == 0:
+            return ()
+        cursor = self._cursors.get((rank, region))
+        if cursor is None:
+            return ()
+        if cursor.next_index is not None and cursor.next_index < cursor.position + count:
+            start = cursor.position
+            fired = cursor.advance(count)
+            out: list[LaneInjection] = []
+            for lane, flip in fired:
+                if lane in self.ejected:
+                    continue  # scalar replay owns this lane's flips now
+                self.activated[lane].append(flip)
+                out.append(LaneInjection(
+                    offset=flip.index - start, operand=flip.operand,
+                    bit=flip.bit, index=flip.index, lane=lane,
+                ))
+            return out
+        cursor.position += count
+        return ()
+
+    def mark_contaminated(self, rank: int) -> None:
+        """No-op: the batch's golden/faulty pair never diverges."""
+        return None
+
+    def bind_step_provider(self, provider: Callable[[], int]) -> None:
+        self._step_provider = provider
+
+    # ------------------------------------------------------------------
+    # per-lane channels
+    # ------------------------------------------------------------------
+    def mark_lanes_from_op(self, rank: int, lanes: Sequence[int]) -> None:
+        """Taint-layer mark: counted, like the scalar metered sink."""
+        lanes = self._live_lanes(lanes)
+        if lanes is None:
+            return
+        reports = self._reports.get(rank)
+        if reports is None:
+            reports = self._reports[rank] = np.zeros(self.k, dtype=np.int64)
+        reports[lanes] += 1
+        self._mark(lanes, rank)
+
+    def mark_lanes_contaminated(self, rank: int, lanes: Sequence[int]) -> None:
+        """Scheduler delivery mark: uncounted (scalar bypasses the meter)."""
+        lanes = self._live_lanes(lanes)
+        if lanes is not None:
+            self._mark(lanes, rank)
+
+    def _live_lanes(self, lanes: Sequence[int]) -> np.ndarray | None:
+        lanes = np.asarray(lanes, dtype=np.intp)
+        if lanes.size == 0:
+            return None
+        if self.ejected:
+            lanes = lanes[~self._ejected_mask[lanes]]
+            if lanes.size == 0:
+                return None
+        return lanes
+
+    def _mark(self, lanes: np.ndarray, rank: int) -> None:
+        if self._cont_count.get(rank, 0) == self.k:
+            return  # every lane already marked: nothing fresh possible
+        cont = self._cont.get(rank)
+        if cont is None:
+            cont = self._cont[rank] = np.zeros(self.k, dtype=bool)
+        fresh = lanes[~cont[lanes]]
+        if fresh.size:
+            cont[fresh] = True
+            self._cont_count[rank] = (
+                self._cont_count.get(rank, 0) + int(fresh.size)
+            )
+            step = (
+                self._step_provider() if self._step_provider is not None else -1
+            )
+            for lane in fresh:
+                self.timelines[int(lane)].append((step, rank))
+
+    def lane_flip_reporter(self, lane: int, rank: int, region, kind: OpKind):
+        """Bound per-lane ``on_flip`` callback (provenance observations)."""
+        observations = self.observations[lane]
+        region_value = region.value
+        op = kind.value
+
+        def on_flip(index, operand: Operand, bits, pre, post):
+            observations.append(FlipObservation(
+                rank=rank, region=region_value, op=op, index=index,
+                operand=operand.name, bits=tuple(bits),
+                pre=float(pre), post=float(post),
+            ))
+
+        return on_flip
+
+    def eject(self, lanes: Sequence[int], reason: str) -> None:
+        """Hand lanes back to the scalar path (control-flow divergence).
+
+        Their pending flips are dropped from every cursor — the scalar
+        replay runs its own tracer — and later batch results simply stop
+        tracking them (their stale rows are never read back out).
+        """
+        fresh = [lane for lane in lanes if lane not in self.ejected]
+        if not fresh:
+            return
+        self.ejected.update(fresh)
+        self._ejected_mask[list(fresh)] = True
+        for lane in fresh:
+            self.eject_reasons.setdefault(lane, reason)
+        fresh_set = set(fresh)
+        for cursor in self._cursors.values():
+            cursor.drop_lanes(fresh_set)
+
+    # ------------------------------------------------------------------
+    # post-run queries
+    # ------------------------------------------------------------------
+    def lane_view(self, lane: int) -> "_LaneView":
+        return _LaneView(self, lane)
+
+    def contaminated_ranks(self, lane: int) -> set[int]:
+        """Ranks marked contaminated for ``lane`` during the pass."""
+        return {rank for rank, cont in self._cont.items() if cont[lane]}
+
+    def report_items(self, lane: int) -> list[tuple[int, int]]:
+        """``(rank, count)`` mark tallies for ``lane`` (sorted by rank)."""
+        return sorted(
+            (rank, int(reports[lane]))
+            for rank, reports in self._reports.items()
+            if reports[lane]
+        )
+
+
+class _LaneView:
+    """One lane's slice of a batch, with the scalar Tracer's interface."""
+
+    __slots__ = ("_batch", "_lane")
+
+    def __init__(self, batch: BatchTracer, lane: int):
+        self._batch = batch
+        self._lane = lane
+
+    @property
+    def plan(self) -> InjectionPlan:
+        return self._batch.plans[self._lane]
+
+    @property
+    def activated_flips(self) -> list[PlannedFlip]:
+        return self._batch.activated[self._lane]
+
+    @property
+    def flip_observations(self) -> list[FlipObservation]:
+        return self._batch.observations[self._lane]
+
+    @property
+    def contamination_timeline(self) -> list[tuple[int, int]]:
+        return self._batch.timelines[self._lane]
+
+    @property
+    def all_flips_activated(self) -> bool:
+        return len(self.activated_flips) == self.plan.n_errors
+
+    def contaminated_count(self) -> int:
+        contaminated = self._batch.contaminated_ranks(self._lane)
+        contaminated.update(f.rank for f in self.activated_flips)
+        return len(contaminated)
+
+
+# ----------------------------------------------------------------------
+# block execution
+# ----------------------------------------------------------------------
+def _lane_output(raw: dict | None, lane: int):
+    """Extract one lane's plain-value output from a raw (TArray) output."""
+    if not isinstance(raw, dict):
+        return raw
+    out = {}
+    for key, val in raw.items():
+        if isinstance(val, TArray):
+            ls = val.lanes
+            row = ls.fstack[lane] if ls is not None else val.faulty
+            out[key] = (
+                float(np.asarray(row).reshape(())) if row.size == 1
+                else np.asarray(row)
+            )
+        else:
+            out[key] = val
+    return out
+
+
+def _replay_lane(
+    app, deployment, reference, trial: int, lane: int,
+    batch: BatchTracer, raw, snap, obs,
+) -> TrialRecord:
+    """Emit one lane's record/events exactly as the scalar loop would.
+
+    The span structure (trial > plan/inject/classify) is replayed so
+    event *order* matches ``run_one_trial``; durations differ (they are
+    wall-clock) and are excluded from the parity contract.
+    """
+    trial_t0 = time.perf_counter()
+    with obs.span("trial"):
+        with obs.span("plan"):
+            pass
+        with obs.span("inject"):
+            pass
+        output = _lane_output(raw, lane)
+        with obs.span("classify"):
+            outcome = classify_outcome(output, reference, app.verify)
+    view = batch.lane_view(lane)
+    record = TrialRecord(
+        outcome=outcome,
+        n_contaminated=view.contaminated_count(),
+        activated=view.all_flips_activated,
+        detail="",
+    )
+    if obs.enabled:
+        # replay the batch pass's shared metering — accounting ran once
+        # for the whole block, so the captured counters are exactly one
+        # trial's worth (fp.* per rank, scheduler steps/runs, ...)
+        if snap is not None:
+            for name, value in snap.counters.items():
+                obs.counter(name, value)
+            for name, values in snap.histograms.items():
+                for value in values:
+                    obs.observe(name, value)
+        for rank, n in batch.report_items(lane):
+            obs.counter(f"taint.contaminated_reports.rank{rank}", n)
+        obs.counter(f"campaign.trials.{outcome.value}")
+        obs.observe("taint.contamination_spread", record.n_contaminated)
+        for flip in view.activated_flips:
+            obs.emit(FaultInjected(
+                trial=trial, rank=flip.rank, region=flip.region.value,
+                index=flip.index, bit=flip.bit,
+            ))
+        obs.emit(TrialFinished(
+            trial=trial, outcome=outcome.value,
+            n_contaminated=record.n_contaminated,
+            activated=record.activated,
+            duration_s=time.perf_counter() - trial_t0,
+        ))
+        obs.emit(build_trial_provenance(trial, view.plan, view, record))
+    return record
+
+
+def run_lane_block(
+    app, deployment, profile, reference, start: int, stop: int, obs,
+) -> list[TrialRecord]:
+    """Execute trials ``[start, stop)`` as lanes of one batched pass.
+
+    Samples each trial's plan exactly as :func:`repro.fi.campaign.
+    run_one_trial` would (``trial_seed(deployment.seed, trial)``), runs
+    the app once with :class:`LaneFPOps` carrying one lane per trial,
+    then replays per-lane records/events in trial order.  Ejected lanes
+    — and the whole block, if the batched pass raises — re-execute on
+    the scalar path, so any trial's result is identical to lanes=1.
+    """
+    from repro.fi.campaign import run_one_trial  # circular at import time
+
+    plans = [
+        sample_plan(
+            profile,
+            trial_seed(deployment.seed, trial),
+            n_errors=deployment.n_errors,
+            target_rank=deployment.effective_target_rank,
+            region=deployment.region,
+            bits_per_error=deployment.bits_per_error,
+        )
+        for trial in range(start, stop)
+    ]
+    batch = BatchTracer(plans)
+    # private recorder: captures the pass's counters/histograms for
+    # per-lane replay without leaking anything into the live stream
+    private = Recorder(enabled=obs.enabled)
+    try:
+        with recording(private):
+            outputs = execute_spmd(
+                app.program, deployment.nprocs, sink=batch,
+                max_steps=deployment.max_steps,
+                ops_factory=lambda sink, rank: LaneFPOps(sink, rank, batch),
+                raw_outputs=True,
+            )
+    except Exception:
+        # golden-path execution should never fail (the profiling pass
+        # succeeded); if it somehow does, the scalar path is always right
+        return [
+            run_one_trial(app, deployment, profile, reference, trial, obs)
+            for trial in range(start, stop)
+        ]
+    raw = outputs[0]
+    snap = private.snapshot() if obs.enabled else None
+    records: list[TrialRecord] = []
+    for lane, trial in enumerate(range(start, stop)):
+        if lane in batch.ejected:
+            records.append(
+                run_one_trial(app, deployment, profile, reference, trial, obs)
+            )
+        else:
+            records.append(_replay_lane(
+                app, deployment, reference, trial, lane, batch, raw, snap, obs,
+            ))
+    return records

@@ -24,7 +24,11 @@ from typing import Any, Callable, Generator
 import numpy as np
 
 from repro.errors import CommunicatorError, DeadlockError, SimulatedHangError
-from repro.mpisim.collectives import payload_diverged, reduce_payloads
+from repro.mpisim.collectives import (
+    payload_diverged,
+    payload_lane_divergence,
+    reduce_payloads,
+)
 from repro.mpisim.communicator import Communicator
 from repro.mpisim.requests import (
     CollectiveKind,
@@ -82,6 +86,10 @@ class Scheduler:
         bind = getattr(self._sink, "bind_step_provider", None)
         if bind is not None:
             bind(lambda: self._steps)
+        # Lane batching: a batched payload is golden-clean overall but may
+        # carry diverged shadow rows; sinks exposing per-lane marks get
+        # them at the same delivery points as scalar contamination marks.
+        self._lane_mark = getattr(self._sink, "mark_lanes_contaminated", None)
         #: (src, dst) -> point-to-point message count; filled when
         #: record_traffic is set (communication-topology analysis).
         self.traffic: dict[tuple[int, int], int] | None = (
@@ -253,6 +261,10 @@ class Scheduler:
                 del mailbox[i]
                 if payload_diverged(env.payload):
                     self._sink.mark_contaminated(rank)
+                elif self._lane_mark is not None:
+                    lanes = payload_lane_divergence(env.payload)
+                    if lanes:
+                        self._lane_mark(rank, lanes)
                 return env.payload
         return None
 
@@ -302,6 +314,10 @@ class Scheduler:
             # already holds.
             if payload_diverged(delivered):
                 self._sink.mark_contaminated(rank)
+            elif self._lane_mark is not None:
+                lanes = payload_lane_divergence(delivered)
+                if lanes:
+                    self._lane_mark(rank, lanes)
             self._ready.append((rank, delivered))
         return True
 

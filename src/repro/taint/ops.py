@@ -49,18 +49,41 @@ __all__ = ["FPOps"]
 _F64 = np.dtype(np.float64)
 
 
+#: (id(arr), out_shape) -> (arr, broadcast view).  Multi-bit faults and
+#: multi-operand groups hit :func:`_lane_value` several times with the
+#: same operand array and output shape back to back (the profiler shows
+#: it on the hot flip path); the broadcast view is a cheap strided
+#: wrapper but rebuilding it per lookup still costs a numpy call.  The
+#: array object itself is stored alongside the view so a recycled id()
+#: can never alias a dead entry, and the cache is bounded.
+_LANE_VIEW_CACHE: dict[tuple[int, tuple[int, ...]], tuple[np.ndarray, np.ndarray]] = {}
+_LANE_VIEW_CACHE_MAX = 8
+
+
+def _broadcast_view(arr: np.ndarray, out_shape: tuple[int, ...]) -> np.ndarray:
+    key = (id(arr), out_shape)
+    hit = _LANE_VIEW_CACHE.get(key)
+    if hit is not None and hit[0] is arr:
+        return hit[1]
+    view = np.broadcast_to(arr, out_shape)
+    if len(_LANE_VIEW_CACHE) >= _LANE_VIEW_CACHE_MAX:
+        _LANE_VIEW_CACHE.clear()
+    _LANE_VIEW_CACHE[key] = (arr, view)
+    return view
+
+
 def _lane_value(arr: np.ndarray, lane: int, out_shape: tuple[int, ...]) -> float:
     """Fetch the scalar the instruction at output ``lane`` reads.
 
     Handles numpy broadcasting: the operand is virtually expanded to the
-    output shape (a strided view, no copy) and indexed at the lane.
+    output shape (a cached strided view, no copy) and indexed at the
+    lane (``flat`` performs the unraveling in C).
     """
     if arr.shape == out_shape:
         return float(arr.reshape(-1)[lane])
     if arr.size == 1:
         return float(arr.reshape(-1)[0])
-    view = np.broadcast_to(arr, out_shape)
-    return float(view[np.unravel_index(lane, out_shape)])
+    return float(_broadcast_view(arr, out_shape).flat[lane])
 
 
 def _flip(value: float, bit: int) -> float:

@@ -61,12 +61,16 @@ class LaneInjection:
     global index in the (rank, region) candidate stream — carried along
     so the taint layer can attribute observed pre/post operand values
     back to the planned fault site (:meth:`TraceSink.record_flip`).
+    ``lane`` identifies which batched trial the flip belongs to when the
+    sink executes several trials per pass (see :mod:`repro.fi.lanes`);
+    it is 0 for the scalar, one-trial-at-a-time tracer.
     """
 
     offset: int
     operand: Operand
     bit: int
     index: int = -1
+    lane: int = 0
 
 
 class TraceSink(Protocol):

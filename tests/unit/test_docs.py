@@ -54,6 +54,15 @@ class TestDocsReferenceRealCode:
         assert "observability.md#profiling-the-hot-path" in perf
         assert "observability.md#live-telemetry" in perf
 
+    def test_performance_doc_covers_lanes(self):
+        perf = (ROOT / "docs" / "performance.md").read_text()
+        assert "## Lane vectorization" in perf
+        # lane docs are reachable from the engine, adaptive and README pages
+        anchor = "performance.md#lane-vectorization---lanes"
+        assert anchor in (ROOT / "docs" / "engine.md").read_text()
+        assert anchor in (ROOT / "docs" / "adaptive.md").read_text()
+        assert "docs/" + anchor in (ROOT / "README.md").read_text()
+
     def test_documented_cli_flags_exist(self):
         """Flags and subcommands the docs advertise must parse."""
         import io
@@ -65,6 +74,6 @@ class TestDocsReferenceRealCode:
         with redirect_stdout(buf), pytest.raises(SystemExit):
             main(["--help"])
         help_text = buf.getvalue()
-        for flag in ("--serve-obs", "--profile", "--trace-out",
+        for flag in ("--serve-obs", "--profile", "--trace-out", "--lanes",
                      "--progress", "--metrics-summary", "obs-profile"):
             assert flag in help_text, flag

@@ -1,0 +1,273 @@
+"""Lane-vectorized shadow execution: scalar parity and the lanes knob.
+
+The hard guarantee under test: ``run_campaign(..., lanes=N)`` is
+bit-identical to ``lanes=1`` — joint content *and* insertion order,
+records, events (minus wall-clock fields), and provenance bytes — for
+any lane count, any worker count, and any interruption-and-resume
+pattern in between (see docs/performance.md, "Lane vectorization").
+Apps are module-level classes so ``spawn`` workers can unpickle them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.fi.lanes as lanes_mod
+from repro import obs
+from repro.fi.cache import deployment_key
+from repro.fi.campaign import (
+    Deployment,
+    _resolve_lanes,
+    default_lanes,
+    run_campaign,
+)
+from repro.obs import provenance_path
+from repro.taint.tarray import TArray
+
+
+class LaneApp:
+    """Distributed dot product with reductions and an allreduce.
+
+    Exercises elementwise ops, a sequential-decomposition reduction
+    (injection sites inside ``dot``), and collective taint spread — the
+    paths where lane batching must reproduce scalar bits exactly.
+    """
+
+    name = "laneapp"
+
+    def __init__(self, n=64, tol=1e-9):
+        self.n = n
+        self.tol = tol
+
+    def program(self, rank, size, comm, fp):
+        chunk = self.n // size
+        x = fp.asarray(np.linspace(1.0, 2.0, chunk) + rank)
+        y = fp.mul(x, x)
+        local = fp.dot(x, y)
+        total = yield comm.allreduce(local, op="sum")
+        if rank == 0:
+            return {"total": total.value}
+        return None
+
+    def verify(self, output, reference):
+        got, ref = output["total"], reference["total"]
+        if not (np.isfinite(got) and np.isfinite(ref)):
+            return False
+        return abs(got - ref) <= self.tol * abs(ref)
+
+    def cache_key(self):
+        return f"laneapp(n={self.n},tol={self.tol})"
+
+
+class BranchyApp(LaneApp):
+    """Reads ``.value`` mid-program: diverged lanes must eject cleanly."""
+
+    name = "branchy"
+
+    def program(self, rank, size, comm, fp):
+        chunk = self.n // size
+        x = fp.asarray(np.linspace(1.0, 2.0, chunk) + rank)
+        local = fp.dot(x, x)
+        total = yield comm.allreduce(local, op="sum")
+        # Control-flow read: any lane whose value diverged from golden
+        # leaves the shared path here and replays on the scalar path.
+        if total.value > 0:
+            z = fp.add(x, x)
+        else:
+            z = fp.sub(x, x)
+        final = yield comm.allreduce(fp.sum(z), op="sum")
+        if rank == 0:
+            return {"total": final.value}
+        return None
+
+    def cache_key(self):
+        return f"branchy(n={self.n},tol={self.tol})"
+
+
+def _strip_times(line: str) -> dict:
+    event = json.loads(line)
+    for key in ("ts", "duration_s", "profile_time", "injection_time"):
+        event.pop(key, None)
+    return event
+
+
+def _run_traced(app, deployment, tmp_path, tag, *, lanes, jobs=1):
+    """One campaign with a JSONL trace; returns (result, events, prov)."""
+    trace = tmp_path / f"{tag}.jsonl"
+    previous = obs.get_recorder()
+    rec = obs.configure(trace_path=trace)
+    try:
+        result = run_campaign(
+            app, deployment, keep_records=True, jobs=jobs, lanes=lanes
+        )
+    finally:
+        rec.close()
+        obs.set_recorder(previous)
+    events = [_strip_times(line) for line in trace.read_text().splitlines()]
+    prov = provenance_path(trace).read_bytes()
+    return result, events, prov
+
+
+class TestScalarParity:
+    """lanes=N must be indistinguishable from lanes=1 in every output."""
+
+    @pytest.mark.parametrize("lanes", [2, 8, 32])
+    def test_records_joint_events_provenance_identical(self, tmp_path, lanes):
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=24, seed=9)
+        base, ev1, pv1 = _run_traced(app, dep, tmp_path, "scalar", lanes=1)
+        got, ev, pv = _run_traced(app, dep, tmp_path, f"l{lanes}", lanes=lanes)
+        assert got.joint == base.joint
+        assert list(got.joint) == list(base.joint)
+        assert got.records == base.records
+        assert ev == ev1
+        assert pv == pv1
+
+    def test_lanes_compose_with_jobs(self, tmp_path):
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=20, seed=4)
+        base = run_campaign(app, dep, keep_records=True, jobs=1, lanes=1)
+        got = run_campaign(
+            app, dep, keep_records=True, jobs=2, lanes=4, checkpoint_every=5
+        )
+        assert got.joint == base.joint
+        assert list(got.joint) == list(base.joint)
+        assert got.records == base.records
+
+    def test_lane_trailing_block_shorter_than_lanes(self):
+        """Trial count not divisible by lanes: the short tail still runs."""
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=7, seed=2)
+        base = run_campaign(app, dep, keep_records=True, jobs=1, lanes=1)
+        got = run_campaign(app, dep, keep_records=True, jobs=1, lanes=4)
+        assert got.records == base.records
+
+
+class TestInterruptResume:
+    def test_resume_matches_uninterrupted_scalar(self, monkeypatch):
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=24, seed=9)
+        clean = run_campaign(app, dep, keep_records=True, jobs=1, lanes=1)
+
+        real = lanes_mod.run_lane_block
+        calls = {"n": 0}
+
+        def interrupted(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:  # two blocks = one checkpointed chunk
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(lanes_mod, "run_lane_block", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(app, dep, keep_records=True, jobs=1, lanes=4,
+                         checkpoint_every=8)
+        monkeypatch.setattr(lanes_mod, "run_lane_block", real)
+
+        resumed = run_campaign(app, dep, keep_records=True, jobs=1, lanes=4,
+                               checkpoint_every=8, resume=True)
+        assert resumed.joint == clean.joint
+        assert list(resumed.joint) == list(clean.joint)
+        assert resumed.records == clean.records
+
+    def test_resume_under_different_lane_count(self, monkeypatch):
+        """Lane count is an execution knob: a checkpoint written under
+        one value resumes under any other (chunk layout is pinned at
+        first write and lanes-invariant)."""
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=24, seed=9)
+        clean = run_campaign(app, dep, keep_records=True, jobs=1, lanes=1)
+
+        real = lanes_mod.run_lane_block
+        calls = {"n": 0}
+
+        def interrupted(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(lanes_mod, "run_lane_block", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(app, dep, keep_records=True, jobs=1, lanes=8,
+                         checkpoint_every=8)
+        monkeypatch.setattr(lanes_mod, "run_lane_block", real)
+
+        resumed = run_campaign(app, dep, keep_records=True, jobs=1, lanes=3,
+                               checkpoint_every=8, resume=True)
+        assert resumed.records == clean.records
+
+
+class TestEjection:
+    def test_branchy_app_ejects_and_stays_identical(self, monkeypatch):
+        app = BranchyApp()
+        dep = Deployment(nprocs=2, trials=24, seed=9)
+        base = run_campaign(app, dep, keep_records=True, jobs=1, lanes=1)
+
+        ejections = []
+        real = lanes_mod.BatchTracer.eject
+
+        def spying(self, lanes, reason):
+            ejections.extend(lanes)
+            return real(self, lanes, reason)
+
+        monkeypatch.setattr(lanes_mod.BatchTracer, "eject", spying)
+        got = run_campaign(app, dep, keep_records=True, jobs=1, lanes=8)
+        assert ejections, "control-flow read never ejected a lane"
+        assert got.joint == base.joint
+        assert got.records == base.records
+
+
+class TestLanesKnob:
+    def test_precedence_arg_over_field_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "16")
+        assert default_lanes() == 16
+        dep_plain = Deployment(nprocs=1, trials=1)
+        dep_field = Deployment(nprocs=1, trials=1, lanes=4)
+        assert _resolve_lanes(None, dep_plain) == 16  # env fallback
+        assert _resolve_lanes(None, dep_field) == 4   # field beats env
+        assert _resolve_lanes(2, dep_field) == 2      # arg beats field
+
+    def test_malformed_env_falls_back_to_one(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LANES", "many")
+        assert default_lanes() == 1
+        assert "REPRO_LANES" in capsys.readouterr().err
+        monkeypatch.setenv("REPRO_LANES", "0")
+        assert default_lanes() == 1
+
+    def test_cache_key_excludes_lanes(self):
+        dep = Deployment(nprocs=2, trials=10, seed=5)
+        batched = Deployment(nprocs=2, trials=10, seed=5, lanes=32)
+        assert deployment_key(dep) == deployment_key(batched)
+
+    def test_profiling_stays_per_trial(self):
+        """Candidate-instruction counts come from scalar profiling runs
+        regardless of the lane count (profiling forces lanes=1)."""
+        app = LaneApp()
+        dep = Deployment(nprocs=2, trials=8, seed=3)
+        base = run_campaign(app, dep, jobs=1, lanes=1)
+        got = run_campaign(app, dep, jobs=1, lanes=8)
+        assert got.total_instructions == base.total_instructions
+        assert got.candidate_instructions == base.candidate_instructions
+
+
+class TestDataMovementDtypes:
+    """scatter/concatenate/stack preserve non-default dtypes."""
+
+    def test_scatter_keeps_float32(self):
+        values = TArray(np.ones(3, dtype=np.float32))
+        out = TArray.scatter(values, np.array([0, 2, 4]), 6)
+        assert out.golden.dtype == np.float32
+
+    def test_concatenate_keeps_float32(self):
+        parts = [TArray(np.ones(2, dtype=np.float32)) for _ in range(2)]
+        out = TArray.concatenate(parts)
+        assert out.golden.dtype == np.float32
+
+    def test_stack_keeps_float32(self):
+        parts = [TArray(np.ones(2, dtype=np.float32)) for _ in range(2)]
+        out = TArray.stack(parts)
+        assert out.golden.dtype == np.float32
