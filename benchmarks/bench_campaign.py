@@ -34,6 +34,12 @@ instrumented op now pays) is audited against the previous full-mode
 ``BENCH_campaign.json`` on disk, when one with a matching configuration
 exists: serial wall-clock may not regress by more than 5%.
 
+The deployment also runs once with causal tracing on (``--timeline``),
+recording span counts and the tracing-enabled overhead under the
+``"trace"`` key; outside ``--quick`` mode a tracing-*disabled* re-run
+(best of 3) must stay within 2% of the baseline serial wall-clock —
+the per-chunk/per-trial ``if tracing`` tests must be free.
+
 Usage::
 
     python benchmarks/bench_campaign.py                # full: 200 trials
@@ -68,6 +74,12 @@ MAX_CHECKPOINT_OVERHEAD = 0.05  # durable progress must cost < 5% serial
 # current serial time may not exceed the previous full-mode benchmark's
 # serial time (same app/trials/nprocs/cpu_count) by more than 5%.
 MAX_DISABLED_PROFILE_DRIFT = 0.05
+
+# Causal tracing sits on chunk/trial boundaries, not in per-op hot
+# loops, so its disabled path (a handful of ``if tracing`` tests per
+# trial) must be unmeasurable: a tracing-off re-run (best of 3) may not
+# exceed the baseline serial wall-clock by more than 2%.
+MAX_DISABLED_TRACE_OVERHEAD = 0.02
 
 # Adaptive stopping must beat the fixed-N worst-case budget by >= 25%
 # at the same precision target on a skewed deployment (MG's outcome
@@ -265,6 +277,65 @@ def _bench_profile(
     return record, parity_ok
 
 
+def _bench_trace(
+    app, deployment, serial_time: float, serial_joint: dict, quick: bool
+) -> tuple[dict, bool]:
+    """Time the deployment with causal tracing on, and its disabled path."""
+    from repro.fi.campaign import run_campaign
+    from repro.obs import MemorySink, Recorder, recording
+    from repro.obs.timeline import spans_of
+
+    mem = MemorySink()
+    with recording(Recorder([mem], tracing=True)):
+        t0 = time.perf_counter()
+        result = run_campaign(app, deployment, jobs=1)
+        wall = time.perf_counter() - t0
+    spans = spans_of(mem.events)
+    cats: dict[str, int] = {}
+    for span in spans:
+        cats[span["cat"]] = cats.get(span["cat"], 0) + 1
+    parity_ok = (
+        result.joint == serial_joint
+        and list(result.joint) == list(serial_joint)
+    )
+    enabled_overhead = wall / serial_time - 1.0
+    print(f"  jobs=1 --timeline  {wall:7.2f}s  overhead "
+          f"{100 * enabled_overhead:+.1f}%  {len(spans)} spans  parity "
+          f"{'ok' if parity_ok else 'BROKEN'}")
+    if not parity_ok:
+        print("FAIL: traced run diverged from serial", file=sys.stderr)
+
+    # the disabled path: same deployment, tracing off, best of 3
+    disabled = float("inf")
+    for _ in range(1 if quick else 3):
+        t0 = time.perf_counter()
+        run_campaign(app, deployment, jobs=1)
+        disabled = min(disabled, time.perf_counter() - t0)
+    disabled_overhead = disabled / serial_time - 1.0
+    print(f"  jobs=1 (tracing off)  {disabled:7.2f}s  vs baseline "
+          f"{100 * disabled_overhead:+.1f}%")
+    ok = parity_ok
+    if not spans:
+        print("FAIL: traced run recorded no spans", file=sys.stderr)
+        ok = False
+    if not quick and disabled_overhead > MAX_DISABLED_TRACE_OVERHEAD:
+        print(f"FAIL: tracing-disabled path adds "
+              f"{100 * disabled_overhead:.1f}% > "
+              f"{100 * MAX_DISABLED_TRACE_OVERHEAD:.0f}% to serial "
+              f"wall-clock", file=sys.stderr)
+        ok = False
+    record = {
+        "time_s": round(wall, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_time_s": round(disabled, 4),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "spans": len(spans),
+        "span_cats": dict(sorted(cats.items())),
+        "parity_ok": parity_ok,
+    }
+    return record, ok
+
+
 def _check_disabled_drift(
     prior: dict | None, record: dict, serial_time: float, quick: bool
 ) -> tuple[float | None, bool]:
@@ -357,6 +428,10 @@ def main(argv: list[str] | None = None) -> int:
         app, deployment, serial_time, serial_joint
     )
 
+    trace_record, trace_ok = _bench_trace(
+        app, deployment, serial_time, serial_joint, args.quick
+    )
+
     lanes_record, lanes_ok = _bench_lanes(app, args.nprocs, args.quick)
 
     adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
@@ -379,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "parity_ok": parity_ok,
         "profile": profile_record,
+        "trace": trace_record,
         "lanes": lanes_record,
         "adaptive": adaptive_record,
     }
@@ -406,7 +482,7 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: parallel joint distribution diverged from serial",
               file=sys.stderr)
         return 1
-    if not profile_ok or not lanes_ok or not adaptive_ok:
+    if not profile_ok or not trace_ok or not lanes_ok or not adaptive_ok:
         return 1
     if not drift_ok:
         return 1

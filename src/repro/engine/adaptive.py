@@ -32,6 +32,8 @@ full determinism argument.
 from __future__ import annotations
 
 import math
+import time
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.engine.aggregate import ChunkAggregator
@@ -46,6 +48,7 @@ from repro.obs import (
     get_recorder,
 )
 from repro.obs.confidence import Z_95, wilson_interval
+from repro.obs.trace import make_span
 
 if TYPE_CHECKING:
     from repro.fi.campaign import AppProtocol, Deployment
@@ -267,7 +270,13 @@ def run_adaptive_trials(
         obs_enabled=obs.enabled or checkpointing,
         profiling=obs.enabled and obs.profiling,
         lanes=lanes,
+        tracing=obs.enabled and obs.tracing,
+        trace_ctx=obs.trace_ctx,
     )
+    # Wave spans nest chunk/checkpoint spans under each wave; the ids
+    # are keyed by wave index, so they are deterministic across runs.
+    tracing = ctx.tracing and ctx.trace_ctx is not None
+    root_trace_ctx = obs.trace_ctx
 
     trials_durable = sum(hi - lo for lo, hi in recovered)
     if recovered and obs.enabled:
@@ -284,6 +293,13 @@ def run_adaptive_trials(
     waves = 0
     converged = False
     while not converged and n_done < cap:
+        wave_ctx = ctx
+        if tracing:
+            wave_trace_ctx = root_trace_ctx.derive("wave", waves)
+            obs.trace_ctx = wave_trace_ctx
+            wave_ctx = replace(ctx, trace_ctx=wave_trace_ctx)
+            wave_w0 = time.time()
+            wave_p0 = time.perf_counter()
         boundary = stopper.next_boundary(aggregator.joint, n_done)
         # the boundary IS the driver's current projection of the final
         # campaign size — publish it so progress lines and the live
@@ -318,7 +334,7 @@ def run_adaptive_trials(
                 missing.append(bounds)
         if missing:
             backend = select_backend(jobs, len(missing), capture=checkpointing)
-            for payload in backend.run(ctx, missing):
+            for payload in backend.run(wave_ctx, missing):
                 if store is not None:
                     trials_durable += payload.n_trials
                     write_checkpoint(store, payload, obs, trials_durable)
@@ -328,6 +344,17 @@ def run_adaptive_trials(
         waves += 1
         converged = stopper.converged(aggregator.joint)
         obs.gauge("campaign.trials_done", n_done)
+        if tracing:
+            obs.add_trace_span(make_span(
+                f"wave {waves - 1}", "wave", wave_trace_ctx,
+                root_trace_ctx.span_id, wave_w0,
+                time.perf_counter() - wave_p0,
+                args={"wave": waves - 1, "boundary": boundary,
+                      "done": n_done},
+            ))
+
+    if tracing:
+        obs.trace_ctx = root_trace_ctx
 
     joint, records = aggregator.finish()
     obs.emit(CampaignConverged(

@@ -13,7 +13,15 @@ fan-out, a batch scheduler, MPI itself) drops into:
 * ``live_events`` declares whether the backend already streamed the
   chunks' observability events to the process-wide sinks while running
   (inline execution does; transported payloads have their events
-  buffered in ``ChunkPayload.obs`` for the driver to re-emit).
+  buffered in ``ChunkPayload.obs`` for the driver to re-emit);
+* observability context rides the :class:`EngineContext` one way and
+  the :class:`~repro.obs.recorder.ObsSnapshot` the other: the driver's
+  causal :class:`~repro.obs.trace.TraceContext` (plus the ``tracing``
+  and ``profiling`` switches) ships to workers in the per-worker
+  initializer pickle, and each chunk's collected spans, profiler rows
+  and buffered events come back in ``ChunkPayload.obs`` — a remote
+  backend that honors this contract gets tracing and profiling for
+  free.
 
 Two implementations ship: :class:`InlineBackend` (the classic
 in-process loop) and :class:`ProcessPoolBackend` (a spawn-safe

@@ -21,6 +21,7 @@ semantics are documented in ``docs/engine.md``.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.engine.aggregate import ChunkAggregator
@@ -29,6 +30,7 @@ from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
 from repro.engine.chunks import ChunkPayload, EngineContext, plan_chunks
 from repro.fi.outcomes import Outcome, TrialRecord
 from repro.obs import CampaignResumed, CheckpointWritten, get_recorder
+from repro.obs.trace import make_span, tracing_active
 
 if TYPE_CHECKING:
     from repro.fi.campaign import AppProtocol, Deployment
@@ -44,7 +46,20 @@ def write_checkpoint(store, payload: ChunkPayload, obs, trials_done: int) -> Non
     :mod:`repro.engine.adaptive` so both produce identical checkpoint
     artifacts and ``CheckpointWritten`` streams.
     """
+    tracing = tracing_active(obs)
+    if tracing:
+        ckpt_w0 = time.time()
+        ckpt_p0 = time.perf_counter()
     path, size = store.write(payload)
+    if tracing:
+        ctx = obs.trace_ctx
+        obs.add_trace_span(make_span(
+            f"checkpoint {payload.start}..{payload.stop}", "checkpoint",
+            ctx.derive("checkpoint", payload.start, payload.stop),
+            ctx.span_id, ckpt_w0, time.perf_counter() - ckpt_p0,
+            args={"start": payload.start, "stop": payload.stop,
+                  "bytes": size},
+        ))
     if obs.enabled:
         obs.counter("checkpoint.writes")
         obs.counter("checkpoint.write_bytes", size)
@@ -151,6 +166,8 @@ def run_trials(
             obs_enabled=obs.enabled or checkpointing,
             profiling=obs.enabled and obs.profiling,
             lanes=lanes,
+            tracing=obs.enabled and obs.tracing,
+            trace_ctx=obs.trace_ctx,
         )
         backend = select_backend(jobs, len(missing), capture=checkpointing)
         for payload in backend.run(ctx, missing):

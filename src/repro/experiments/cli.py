@@ -14,7 +14,11 @@ Besides the experiment harnesses, the CLI wires the observability layer
 * ``obs-report PATH`` renders a previously written trace into per-phase
   time/throughput and outcome tables;
 * ``obs-profile PATH`` renders the per-(phase, op, rank) hot-path
-  attribution recorded by ``--profile``.
+  attribution recorded by ``--profile``;
+* ``--timeline`` turns on causal tracing (deterministic W3C-style
+  trace/span ids over campaign → wave → chunk → trial → checkpoint);
+* ``obs-timeline PATH`` reports worker utilization from a traced run and
+  exports Chrome (Perfetto-loadable) and OTLP-shaped JSON timelines.
 
 ``--jobs N`` fans every campaign's trials over N worker processes
 (deterministic: results are bit-identical to serial; see
@@ -35,6 +39,7 @@ import importlib
 import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import EXPERIMENTS
 
@@ -81,7 +86,7 @@ def _obs_report(argv: list[str]) -> int:
     skips = _SkipCounter("obs-report")
     try:
         events = load_trace(args.path, on_skip=skips)
-    except FileNotFoundError:
+    except (FileNotFoundError, IsADirectoryError):
         print(f"obs-report: no such trace file: {args.path}", file=sys.stderr)
         return 2
     skips.flush()
@@ -112,7 +117,7 @@ def _obs_dashboard(argv: list[str]) -> int:
     skips = _SkipCounter("obs-dashboard")
     try:
         out = write_dashboard(args.path, out_path=args.out, on_skip=skips)
-    except FileNotFoundError:
+    except (FileNotFoundError, IsADirectoryError):
         print(f"obs-dashboard: no such trace file: {args.path}", file=sys.stderr)
         return 2
     except ValueError as exc:
@@ -148,7 +153,7 @@ def _obs_profile(argv: list[str]) -> int:
     skips = _SkipCounter("obs-profile")
     try:
         events = load_trace(args.path, on_skip=skips)
-    except FileNotFoundError:
+    except (FileNotFoundError, IsADirectoryError):
         print(f"obs-profile: no such trace file: {args.path}", file=sys.stderr)
         return 2
     skips.flush()
@@ -169,6 +174,78 @@ def _obs_profile(argv: list[str]) -> int:
     return 0
 
 
+def _obs_timeline(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs-timeline",
+        description="Report worker utilization and export span timelines "
+                    "from a traced run (write one with --timeline "
+                    "--trace-out PATH).",
+    )
+    parser.add_argument("path", help="trace file written with --trace-out")
+    parser.add_argument(
+        "--chrome", metavar="OUT", default=None,
+        help="write a Chrome trace-event JSON timeline to OUT (load it in "
+             "Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--otlp", metavar="OUT", default=None,
+        help="write an OTLP-shaped JSON span dump to OUT",
+    )
+    parser.add_argument(
+        "--svg", metavar="OUT", default=None,
+        help="also write the worker-timeline swimlane SVG to OUT",
+    )
+    args = parser.parse_args(argv)
+    import json
+
+    from repro.obs import load_trace
+    from repro.obs.timeline import (
+        chrome_trace,
+        otlp_trace,
+        render_timeline_report,
+        spans_of,
+        timeline_path,
+        timeline_swimlane_svg,
+        validate_chrome_trace,
+    )
+
+    skips = _SkipCounter("obs-timeline")
+    try:
+        events = load_trace(args.path, on_skip=skips)
+    except (FileNotFoundError, IsADirectoryError):
+        print(f"obs-timeline: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    sidecar = timeline_path(args.path)
+    if sidecar != Path(args.path) and sidecar.exists():
+        events.extend(load_trace(sidecar, on_skip=skips))
+    skips.flush()
+    spans = spans_of(events)
+    if not spans:
+        print(
+            f"obs-timeline: trace {args.path} has no campaign_trace spans "
+            f"(rerun the experiment with --timeline --trace-out)",
+            file=sys.stderr,
+        )
+        return 1
+    # write artifacts before printing: the report may die on a closed
+    # stdout pipe (`obs-timeline ... | head`) and the exports should survive
+    if args.chrome:
+        blob = chrome_trace(spans)
+        validate_chrome_trace(blob)
+        with open(args.chrome, "w") as fh:
+            json.dump(blob, fh)
+        print(f"chrome trace written to {args.chrome}")
+    if args.otlp:
+        with open(args.otlp, "w") as fh:
+            json.dump(otlp_trace(spans), fh)
+        print(f"otlp spans written to {args.otlp}")
+    if args.svg:
+        timeline_swimlane_svg(spans).save(args.svg)
+        print(f"swimlane written to {args.svg}")
+    print(render_timeline_report(spans))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments`` / ``repro-experiments``."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -178,13 +255,15 @@ def main(argv: list[str] | None = None) -> int:
         return _obs_dashboard(argv[1:])
     if argv[:1] == ["obs-profile"]:
         return _obs_profile(argv[1:])
+    if argv[:1] == ["obs-timeline"]:
+        return _obs_timeline(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
-        epilog="See also the 'obs-report PATH', 'obs-dashboard PATH' and "
-               "'obs-profile PATH' subcommands, which render a trace "
-               "written with --trace-out.",
+        epilog="See also the 'obs-report PATH', 'obs-dashboard PATH', "
+               "'obs-profile PATH' and 'obs-timeline PATH' subcommands, "
+               "which render a trace written with --trace-out.",
     )
     parser.add_argument(
         "experiment",
@@ -249,6 +328,12 @@ def main(argv: list[str] | None = None) -> int:
              "op kind, rank); render with obs-profile or the dashboard",
     )
     parser.add_argument(
+        "--timeline", action="store_true",
+        help="record causal trace spans (campaign/wave/chunk/trial/"
+             "checkpoint) to a *.timeline.jsonl sidecar next to "
+             "--trace-out; render with obs-timeline or the dashboard",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress tables and per-experiment timing; errors still print",
     )
@@ -311,7 +396,7 @@ def main(argv: list[str] | None = None) -> int:
     server = None
     wants_obs = (
         args.trace_out or args.progress or args.metrics_summary
-        or args.profile or serve_port is not None
+        or args.profile or args.timeline or serve_port is not None
     )
     if wants_obs:
         from repro import obs
@@ -322,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=args.progress,
             metrics=True,
             profile=args.profile,
+            timeline=args.timeline,
         )
         if serve_port is not None:
             from repro.obs import start_live_server

@@ -37,6 +37,13 @@ from repro.obs import (
     get_recorder,
 )
 from repro.obs.provenance import build_trial_provenance
+from repro.obs.trace import (
+    TraceContext,
+    TraceScope,
+    make_span,
+    span_id_from,
+    trace_id_from,
+)
 from repro.taint.region import Region
 from repro.utils.rng import trial_seed
 from repro.utils.validation import check_positive_int
@@ -316,6 +323,9 @@ def run_one_trial(
     (:mod:`repro.fi.parallel`) call this one function.
     """
     trial_t0 = time.perf_counter()
+    # clock reads only: tracing must not perturb the trial itself
+    tracing = obs.enabled and obs.tracing and obs.trace_ctx is not None
+    trial_w0 = time.time() if tracing else 0.0
     with obs.span("trial"):
         rng = trial_seed(deployment.seed, trial)
         with obs.span("plan"):
@@ -363,6 +373,13 @@ def run_one_trial(
             duration_s=time.perf_counter() - trial_t0,
         ))
         obs.emit(build_trial_provenance(trial, plan, tracer, record))
+    if tracing:
+        parent = obs.trace_ctx
+        obs.add_trace_span(make_span(
+            f"trial {trial}", "trial", parent.derive("trial", trial),
+            parent.span_id, trial_w0, time.perf_counter() - trial_t0,
+            args={"trial": trial, "outcome": outcome.value},
+        ))
     return record
 
 
@@ -467,48 +484,86 @@ def run_campaign(
     prof_scope = (
         ProfileScope(obs) if obs.enabled and obs.profiling else None
     )
+    # Like the profiler, tracing scopes this campaign's slice of the
+    # recorder's cumulative span list.  Trace/span ids hash logical
+    # identity only (app cache key + deployment key), never the clock,
+    # so the same deployment traces to the same ids in every run.
+    tracing = obs.enabled and obs.tracing
+    trace_scope = None
+    prev_trace_ctx = obs.trace_ctx
+    if tracing:
+        from repro.fi.cache import deployment_key  # circular at import time
+
+        trace_id = trace_id_from(app.cache_key(), deployment_key(deployment))
+        trace_ctx = TraceContext(trace_id, span_id_from(trace_id, "campaign"))
+        obs.trace_ctx = trace_ctx
+        trace_scope = TraceScope(obs)
+        campaign_w0 = time.time()
+        campaign_p0 = time.perf_counter()
     obs.emit(CampaignStarted(
         app=app.name, nprocs=deployment.nprocs, trials=deployment.trials,
         n_errors=deployment.n_errors, seed=deployment.seed,
     ))
-    with obs.span("campaign"):
-        t0 = time.perf_counter()
-        with obs.span("profile"):
-            profile_tracer = Tracer(TracerMode.PROFILE)
-            outputs = execute_spmd(
-                app.program, deployment.nprocs, sink=profile_tracer,
-                max_steps=deployment.max_steps,
-            )
-        reference = outputs[0]
-        if reference is None:
-            raise ConfigurationError(f"app {app.name!r} returned no output at rank 0")
-        profile: InstructionProfile = profile_tracer.profile
-        profile_time = time.perf_counter() - t0
+    try:
+        with obs.span("campaign"):
+            t0 = time.perf_counter()
+            prof_w0 = time.time() if tracing else 0.0
+            with obs.span("profile"):
+                profile_tracer = Tracer(TracerMode.PROFILE)
+                outputs = execute_spmd(
+                    app.program, deployment.nprocs, sink=profile_tracer,
+                    max_steps=deployment.max_steps,
+                )
+            reference = outputs[0]
+            if reference is None:
+                raise ConfigurationError(
+                    f"app {app.name!r} returned no output at rank 0"
+                )
+            profile: InstructionProfile = profile_tracer.profile
+            profile_time = time.perf_counter() - t0
+            if tracing:
+                obs.add_trace_span(make_span(
+                    "profile", "phase", trace_ctx.derive("phase", "profile"),
+                    trace_ctx.span_id, prof_w0, profile_time,
+                ))
 
-        t1 = time.perf_counter()
-        # imported lazily: the engine imports this module in turn
-        if deployment.ci_halfwidth is not None:
-            from repro.engine.adaptive import run_adaptive_trials
+            t1 = time.perf_counter()
+            # imported lazily: the engine imports this module in turn
+            if deployment.ci_halfwidth is not None:
+                from repro.engine.adaptive import run_adaptive_trials
 
-            joint, records = run_adaptive_trials(
-                app, deployment, profile, reference,
-                target=deployment.ci_halfwidth,
-                keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
-                checkpoint_every=ckpt_every, resume=do_resume,
-            )
-        else:
-            from repro.engine import run_trials
+                joint, records = run_adaptive_trials(
+                    app, deployment, profile, reference,
+                    target=deployment.ci_halfwidth,
+                    keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
+                    checkpoint_every=ckpt_every, resume=do_resume,
+                )
+            else:
+                from repro.engine import run_trials
 
-            joint, records = run_trials(
-                app, deployment, profile, reference,
-                keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
-                checkpoint_every=ckpt_every, resume=do_resume,
-            )
-        injection_time = time.perf_counter() - t1
+                joint, records = run_trials(
+                    app, deployment, profile, reference,
+                    keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
+                    checkpoint_every=ckpt_every, resume=do_resume,
+                )
+            injection_time = time.perf_counter() - t1
+    finally:
+        obs.trace_ctx = prev_trace_ctx
 
     if prof_scope is not None:
         # after the campaign span closes, so the delta includes its total
         obs.emit(prof_scope.to_event(app.name))
+    if tracing:
+        # the campaign span closes the tree; emitted as one event so
+        # sinks can route it (obs.configure sends it to the timeline
+        # sidecar, never the main trace)
+        obs.add_trace_span(make_span(
+            f"campaign {app.name}", "campaign", trace_ctx, "",
+            campaign_w0, time.perf_counter() - campaign_p0,
+            args={"app": app.name, "nprocs": deployment.nprocs,
+                  "trials": deployment.trials, "seed": deployment.seed},
+        ))
+        obs.emit(trace_scope.to_event(app.name, trace_id))
     result = CampaignResult(
         app_name=app.name,
         deployment=deployment,

@@ -31,6 +31,7 @@ from repro.fi.plan import InjectionPlan, PlannedFlip, sample_plan
 from repro.mpisim.runner import execute_spmd
 from repro.obs import FaultInjected, Recorder, TrialFinished, recording
 from repro.obs.provenance import FlipObservation, build_trial_provenance
+from repro.obs.trace import make_span
 from repro.taint.laneops import LaneFPOps
 from repro.taint.tarray import TArray
 from repro.taint.tracer_api import LaneInjection, OpKind, Operand
@@ -377,6 +378,13 @@ def run_lane_block(
     """
     from repro.fi.campaign import run_one_trial  # circular at import time
 
+    # clock reads only — the scalar-fallback path below skips the block
+    # span entirely (its trials record their own spans instead)
+    tracing = obs.enabled and obs.tracing and obs.trace_ctx is not None
+    if tracing:
+        block_w0 = time.time()
+        block_p0 = time.perf_counter()
+
     plans = [
         sample_plan(
             profile,
@@ -409,14 +417,34 @@ def run_lane_block(
         ]
     raw = outputs[0]
     snap = private.snapshot() if obs.enabled else None
+    if tracing:
+        # ejected lanes re-run scalar inside the replay loop; pointing
+        # obs.trace_ctx at the block nests their trial spans under it
+        parent_trace_ctx = obs.trace_ctx
+        block_trace_ctx = parent_trace_ctx.derive("lanes", start, stop)
+        obs.trace_ctx = block_trace_ctx
     records: list[TrialRecord] = []
-    for lane, trial in enumerate(range(start, stop)):
-        if lane in batch.ejected:
-            records.append(
-                run_one_trial(app, deployment, profile, reference, trial, obs)
-            )
-        else:
-            records.append(_replay_lane(
-                app, deployment, reference, trial, lane, batch, raw, snap, obs,
+    try:
+        for lane, trial in enumerate(range(start, stop)):
+            if lane in batch.ejected:
+                records.append(
+                    run_one_trial(
+                        app, deployment, profile, reference, trial, obs
+                    )
+                )
+            else:
+                records.append(_replay_lane(
+                    app, deployment, reference, trial, lane, batch, raw,
+                    snap, obs,
+                ))
+    finally:
+        if tracing:
+            obs.trace_ctx = parent_trace_ctx
+            obs.add_trace_span(make_span(
+                f"lanes {start}..{stop}", "lanes", block_trace_ctx,
+                parent_trace_ctx.span_id, block_w0,
+                time.perf_counter() - block_p0,
+                args={"start": start, "stop": stop,
+                      "lanes": stop - start, "ejected": len(batch.ejected)},
             ))
     return records

@@ -39,6 +39,7 @@ from repro.obs.events import (
     CampaignPlanRevised,
     CampaignProfile,
     CampaignResumed,
+    CampaignTrace,
     CampaignStarted,
     CheckpointWritten,
     Event,
@@ -85,6 +86,24 @@ from repro.obs.sinks import (
     Sink,
     load_trace,
 )
+from repro.obs.timeline import (
+    chrome_trace,
+    otlp_trace,
+    render_timeline_report,
+    spans_of,
+    timeline_path,
+    timeline_swimlane_svg,
+    validate_chrome_trace,
+    worker_utilization,
+)
+from repro.obs.trace import (
+    TraceContext,
+    TraceScope,
+    live_trace_event,
+    make_span,
+    span_id_from,
+    trace_id_from,
+)
 
 __all__ = [
     # recorder
@@ -96,7 +115,7 @@ __all__ = [
     # events
     "Event", "CampaignStarted", "CampaignFinished", "CampaignResumed",
     "CampaignConverged", "CampaignPlanRevised", "CampaignProfile",
-    "CheckpointWritten", "TrialFinished",
+    "CampaignTrace", "CheckpointWritten", "TrialFinished",
     "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
     "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
     # provenance
@@ -111,6 +130,12 @@ __all__ = [
     # profiler
     "ProfileScope", "live_profile_event", "merge_profile_events",
     "render_profile_report", "render_profile_svg",
+    # causal tracing + timelines
+    "TraceContext", "TraceScope", "live_trace_event", "make_span",
+    "span_id_from", "trace_id_from",
+    "chrome_trace", "otlp_trace", "render_timeline_report", "spans_of",
+    "timeline_path", "timeline_swimlane_svg", "validate_chrome_trace",
+    "worker_utilization",
 ]
 
 
@@ -120,6 +145,7 @@ def configure(
     metrics: bool = False,
     provenance: bool = True,
     profile: bool = False,
+    timeline: bool = False,
 ) -> Recorder:
     """Build and globally install a recorder for this process.
 
@@ -127,29 +153,41 @@ def configure(
     :class:`ProgressSink`; ``metrics`` enables counter/histogram/span
     collection even with no sink attached (for ``--metrics-summary``);
     ``profile`` additionally turns on the hot-path profiler
-    (:mod:`repro.obs.profiler`), which implies collection.
+    (:mod:`repro.obs.profiler`), which implies collection; ``timeline``
+    turns on causal tracing (:mod:`repro.obs.trace`) for the
+    ``obs-timeline`` exporters.
     With ``trace_path`` set and ``provenance`` left on, bulky
     :class:`TrialProvenance` events are routed to a second, timestamp-free
     sink at :func:`provenance_path` instead of the main trace, keeping
-    the provenance file bit-identical across worker counts.
+    the provenance file bit-identical across worker counts.  Bulky
+    :class:`CampaignTrace` events likewise go to a timestamp-free
+    ``*.timeline.jsonl`` sidecar (:func:`timeline_path`) when
+    ``timeline`` is set, and are excluded from the main trace either
+    way, so the main trace's bytes do not depend on the tracing switch.
     Returns the installed recorder — call ``close()`` on it when done.
     """
     sinks: list[Sink] = []
     if trace_path is not None:
+        sinks.append(JsonlSink(
+            trace_path, exclude=(TrialProvenance, CampaignTrace),
+        ))
         if provenance:
-            sinks.append(JsonlSink(trace_path, exclude=(TrialProvenance,)))
             sinks.append(JsonlSink(
                 provenance_path(trace_path), only=(TrialProvenance,),
                 stamp_ts=False,
             ))
-        else:
-            sinks.append(JsonlSink(trace_path, exclude=(TrialProvenance,)))
+        if timeline:
+            sinks.append(JsonlSink(
+                timeline_path(trace_path), only=(CampaignTrace,),
+                stamp_ts=False,
+            ))
     if progress:
         sinks.append(ProgressSink())
     recorder = Recorder(
         sinks,
-        enabled=bool(sinks) or metrics or profile,
+        enabled=bool(sinks) or metrics or profile or timeline,
         profiling=profile,
+        tracing=timeline,
     )
     set_recorder(recorder)
     return recorder

@@ -41,6 +41,13 @@ from repro.obs.profiler import (
 )
 from repro.obs.provenance import FaultProvenance, load_provenance, provenance_path
 from repro.obs.sinks import load_trace
+from repro.obs.timeline import (
+    STRAGGLER_K,
+    spans_of,
+    timeline_path,
+    timeline_swimlane_svg,
+    worker_utilization,
+)
 from repro.viz.svg import bar_chart, bar_chart_with_ci, heatmap
 
 __all__ = [
@@ -240,6 +247,45 @@ def _profile_section(events: list[Event]) -> str | None:
     return svg + note
 
 
+def _timeline_section(events: list[Event]) -> str | None:
+    """Worker swimlane + utilization; None when the run was not traced."""
+    spans = spans_of(events)
+    if not spans:
+        return None
+    svg = timeline_swimlane_svg(spans).render()
+    util = worker_utilization(spans)
+    parts = [svg]
+    if util["workers"]:
+        rows = [
+            (pid, w["chunks"], w["trials"], f"{w['busy_s']:.3f}",
+             f"{100 * w['busy_frac']:.0f}%",
+             f"{100 * w['queue_wait_frac']:.0f}%",
+             f"{100 * w['idle_frac']:.0f}%")
+            for pid, w in util["workers"].items()
+        ]
+        parts.append(_html_table(
+            ["worker pid", "chunks", "trials", "busy s", "busy",
+             "queue-wait", "idle"],
+            rows,
+        ))
+    if util["stragglers"]:
+        worst = util["stragglers"][0]
+        parts.append(
+            f"<p class='meta'>{len(util['stragglers'])} straggler "
+            f"chunk(s) exceeded {STRAGGLER_K:g}× the "
+            f"{util['chunk_median_s']:.3f}s median — worst: "
+            f"{_esc(worst['name'])} on pid {worst['pid']} at "
+            f"{worst['ratio']:.1f}×.</p>"
+        )
+    else:
+        parts.append(
+            "<p class='meta'>No straggler chunks (none exceeded "
+            f"{STRAGGLER_K:g}× the median). Export this timeline with "
+            "<code>obs-timeline TRACE --chrome out.json</code>.</p>"
+        )
+    return "\n".join(parts)
+
+
 def _phase_section(events: list[Event]) -> str:
     totals: dict[str, list[float]] = {}
     for e in events:
@@ -286,6 +332,7 @@ def render_dashboard_html(
     ]
     for heading, builder in (
         ("Hot-path profile", _profile_section),
+        ("Worker timeline", _timeline_section),
         ("Checkpoint / resume", _checkpoint_section),
         ("Adaptive convergence", _convergence_section),
     ):
@@ -330,6 +377,9 @@ def render_dashboard(
     events = load_trace(trace_path, on_skip=on_skip)
     if not events:
         raise ValueError(f"trace {trace_path} contains no decodable events")
+    sidecar = timeline_path(trace_path)
+    if sidecar.exists():
+        events = events + load_trace(sidecar, on_skip=on_skip)
     if provenance is None:
         candidate = provenance_path(trace_path)
         provenance = candidate if candidate.exists() else None

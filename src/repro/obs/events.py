@@ -21,6 +21,7 @@ __all__ = [
     "CampaignConverged",
     "CampaignPlanRevised",
     "CampaignProfile",
+    "CampaignTrace",
     "CheckpointWritten",
     "TrialFinished",
     "FaultInjected",
@@ -161,6 +162,30 @@ class CampaignProfile(Event):
 
 
 @dataclass(frozen=True)
+class CampaignTrace(Event):
+    """Causal spans of one campaign (see :mod:`repro.obs.trace`).
+
+    Emitted by :func:`repro.fi.campaign.run_campaign` when tracing is
+    enabled, after the campaign span closes.  ``spans`` holds one dict
+    per recorded span — ``name``, ``cat`` (campaign / phase / wave /
+    chunk / lanes / trial / checkpoint), deterministic W3C-style
+    ``trace_id``/``span_id``/``parent_id``, wall-clock ``t0``/``dur``
+    seconds and the recording process's ``pid``.
+    :func:`repro.obs.configure` routes this event to the
+    ``*.timeline.jsonl`` sidecar (never the main trace), so the main
+    event stream is identical with tracing on or off.  Rendered by the
+    ``obs-timeline`` CLI and the dashboards' worker-timeline section
+    via :mod:`repro.obs.timeline`.
+    """
+
+    type: ClassVar[str] = "campaign_trace"
+
+    app: str
+    trace_id: str
+    spans: list[dict]
+
+
+@dataclass(frozen=True)
 class CheckpointWritten(Event):
     """One completed chunk's results were durably persisted."""
 
@@ -292,7 +317,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
     for cls in (
         CampaignStarted, CampaignFinished, CampaignResumed, CampaignConverged,
-        CampaignPlanRevised, CampaignProfile,
+        CampaignPlanRevised, CampaignProfile, CampaignTrace,
         CheckpointWritten, TrialFinished, FaultInjected, TrialProvenance,
         CacheHit, CacheMiss, CacheWrite, CacheCorrupt, SchedulerDeadlock,
         SpanEnd,

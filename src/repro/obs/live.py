@@ -46,6 +46,7 @@ from repro.obs.profiler import live_profile_event, profile_rows
 from repro.obs.provenance import FaultProvenance
 from repro.obs.recorder import Recorder, _copy_racing
 from repro.obs.sinks import RingBufferSink
+from repro.obs.trace import live_trace_event
 
 __all__ = [
     "OBS_PORT_ENV",
@@ -321,6 +322,9 @@ class LiveObsServer:
             # synthesize a profile event from the recorder's live tables
             # so the flamegraph renders mid-campaign
             events = events + [live_profile_event(self.recorder)]
+        if self.recorder.tracing and self.recorder.trace_spans:
+            # likewise for the worker-timeline swimlane
+            events = events + [live_trace_event(self.recorder)]
         return render_dashboard_html(
             events,
             records,
@@ -348,10 +352,16 @@ def start_live_server(
     a disabled recorder would serve permanently empty pages — but
     *profiling* stays as configured, and nothing here mutates campaign
     state, so outputs remain byte-identical with the server on or off.
+    Events falling off the ring's head increment the recorder's
+    ``events.dropped`` counter, exported as ``repro_events_dropped_total``
+    on ``/metrics`` and listed by ``--metrics-summary``.
     """
-    ring = RingBufferSink(capacity)
+    ring = RingBufferSink(
+        capacity, on_drop=lambda: recorder.counter("events.dropped")
+    )
     recorder.sinks.append(ring)
     recorder.enabled = True
+    recorder.counter("events.dropped", 0)  # visible on /metrics from scrape 1
     server = LiveObsServer(
         recorder, ring, host=host, port=port, refresh_s=refresh_s
     )

@@ -97,9 +97,12 @@ class ObsSnapshot:
     into the parent's recorder with :meth:`Recorder.absorb`.  ``profile``
     carries the hot-path profiler's attribution rows so per-(phase, op
     kind, rank) data survives worker aggregation exactly like counters
-    do; it stays out of checkpoint files (wall times are not
-    deterministic, and checkpoint bytes must not depend on whether
-    profiling was on).
+    do; ``trace`` carries the causal spans collected while
+    :attr:`Recorder.tracing` was set (see :mod:`repro.obs.trace`).
+    Both stay out of checkpoint files (wall times are not deterministic,
+    and checkpoint bytes must not depend on whether profiling or tracing
+    was on) — ``trace`` defaults to empty so old checkpoints still
+    deserialize.
     """
 
     counters: dict[str, float] = field(default_factory=dict)
@@ -109,6 +112,7 @@ class ObsSnapshot:
     profile: dict[tuple[str, str, int], list[float]] = field(
         default_factory=dict
     )
+    trace: list[dict] = field(default_factory=list)
 
 
 class _NullSpan:
@@ -136,6 +140,7 @@ class Recorder:
         clock: Callable[[], float] = time.perf_counter,
         span_prefix: Sequence[str] = (),
         profiling: bool = False,
+        tracing: bool = False,
     ):
         self.sinks: list[Sink] = list(sinks)
         #: master switch — instrumentation sites test this one attribute.
@@ -144,6 +149,16 @@ class Recorder:
         #: Profiled objects (FPOps, the scheduler) resolve it once per
         #: instance, so the disabled path stays one attribute test.
         self.profiling: bool = profiling
+        #: causal-tracing switch (see :mod:`repro.obs.trace`); like
+        #: ``profiling``, meaningful only while ``enabled``, and the
+        #: disabled path costs callers one attribute test.
+        self.tracing: bool = tracing
+        #: collected span dicts (cumulative across campaigns, like
+        #: ``profile``); scoped per campaign by ``obs.trace.TraceScope``.
+        self.trace_spans: list[dict] = []
+        #: the driver/worker's current ``obs.trace.TraceContext`` (kept
+        #: untyped: the recorder never imports the tracing module).
+        self.trace_ctx = None
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, list[float]] = {}
@@ -216,6 +231,19 @@ class Recorder:
         agg[2] += seconds
 
     # ------------------------------------------------------------------
+    # causal tracing
+    # ------------------------------------------------------------------
+    def add_trace_span(self, span: dict) -> None:
+        """Collect one causal span dict (no-op unless tracing is on).
+
+        Spans are built by :func:`repro.obs.trace.make_span`; they are
+        exported by :mod:`repro.obs.timeline` and never feed back into
+        execution, so recording them cannot perturb results.
+        """
+        if self.enabled and self.tracing:
+            self.trace_spans.append(span)
+
+    # ------------------------------------------------------------------
     # spans
     # ------------------------------------------------------------------
     def span(self, name: str) -> ContextManager:
@@ -278,14 +306,16 @@ class Recorder:
             span_totals=_copy_racing(self.span_totals, list),
             events=list(events),
             profile=_copy_racing(self.profile, list),
+            trace=list(self.trace_spans),
         )
 
     def absorb(self, snapshot: ObsSnapshot, emit_events: bool = True) -> None:
         """Merge a worker's :class:`ObsSnapshot` into this recorder.
 
         Counters add, histograms extend, span totals and profile rows
-        accumulate, and the snapshot's events are re-emitted to this
-        recorder's sinks in their original order.  No-op while disabled.
+        accumulate, trace spans append, and the snapshot's events are
+        re-emitted to this recorder's sinks in their original order.
+        No-op while disabled.
         """
         if not self.enabled:
             return
@@ -302,6 +332,7 @@ class Recorder:
             agg[0] += ops
             agg[1] += calls
             agg[2] += seconds
+        self.trace_spans.extend(snapshot.trace)
         if emit_events:
             for event in snapshot.events:
                 self.emit(event)

@@ -31,9 +31,18 @@ __all__ = [
     "outcome_counts",
     "checkpoint_summary",
     "convergence_summary",
+    "trial_latency_table",
     "render_trace_report",
     "render_metrics_summary",
 ]
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(int(-(-q * len(ordered) // 100)), 1)  # ceil(q/100 * n)
+    return ordered[rank - 1]
 
 
 def _aggregate_spans(events: Iterable[Event]) -> dict[str, list[float]]:
@@ -121,6 +130,33 @@ def convergence_summary(events: Iterable[Event]) -> str | None:
     )
 
 
+def trial_latency_table(events: Iterable[Event]) -> str | None:
+    """Per-trial wall-time percentiles, or None when no trials finished.
+
+    Nearest-rank p50/p95/p99 over :class:`TrialFinished.duration_s` —
+    the tail percentiles are what stragglers and injection-path
+    slowdowns show up in, long before the mean moves.
+    """
+    durations = sorted(
+        e.duration_s for e in events if isinstance(e, TrialFinished)
+    )
+    if not durations:
+        return None
+    n = len(durations)
+    row = (
+        n,
+        round(1000.0 * sum(durations) / n, 3),
+        round(1000.0 * _percentile(durations, 50), 3),
+        round(1000.0 * _percentile(durations, 95), 3),
+        round(1000.0 * _percentile(durations, 99), 3),
+        round(1000.0 * durations[-1], 3),
+    )
+    return format_table(
+        ["trials", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        [row], title="Trial wall time",
+    )
+
+
 def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
     events = load_trace(path, on_skip=on_skip)
@@ -141,6 +177,9 @@ def render_trace_report(path: str | Path, on_skip=None) -> str:
                 title=f"Trial outcomes ({n} trials)",
             )
         )
+    latency = trial_latency_table(events)
+    if latency is not None:
+        sections.append(latency)
     checkpoints = checkpoint_summary(events)
     if checkpoints is not None:
         sections.append(checkpoints)

@@ -71,17 +71,28 @@ class RingBufferSink:
     ``RuntimeError`` raised when an append lands mid-iteration.  Bounded
     by construction, so bulky event streams (per-trial provenance) can
     be buffered for a live dashboard without growing with campaign size.
+
+    ``on_drop`` (if given) is called once per event that falls off the
+    ring's head — the live server counts these as
+    ``repro_events_dropped_total`` so silent tail loss is observable.
     """
 
-    def __init__(self, capacity: int = 2048):
+    def __init__(
+        self,
+        capacity: int = 2048,
+        on_drop: Callable[[], None] | None = None,
+    ):
         if capacity < 1:
             raise ValueError(f"ring capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._buf: deque[Event] = deque(maxlen=capacity)
         self._written = 0
+        self._on_drop = on_drop
 
     def write(self, event: Event) -> None:
         self._written += 1
+        if self._on_drop is not None and len(self._buf) == self.capacity:
+            self._on_drop()
         self._buf.append(event)
 
     def close(self) -> None:

@@ -13,7 +13,7 @@ from typing import Sequence
 
 __all__ = [
     "SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart",
-    "bar_chart_with_ci", "flamegraph", "heatmap", "PALETTE",
+    "bar_chart_with_ci", "flamegraph", "heatmap", "swimlane", "PALETTE",
 ]
 
 #: Colour cycle for series (colour-blind-safe subset).
@@ -278,6 +278,60 @@ def flamegraph(
         if w >= 6.2 * len(label) + 6:
             canvas.text(x + 5, y + row_height / 2 + 3, label, size=10,
                         anchor="start", fill="#fff")
+    return canvas
+
+
+def swimlane(
+    rows: Sequence[tuple[str, Sequence[tuple[float, float, str, int]]]],
+    title: str,
+    width: int = 920,
+    row_height: int = 26,
+    xlabel: str = "seconds",
+) -> SvgCanvas:
+    """Timeline swimlanes: one labelled lane per row, boxes on a shared axis.
+
+    Each row is ``(label, boxes)`` and each box ``(t0, t1, label,
+    color_index)`` in seconds from the timeline origin.  Boxes in a lane
+    may overlap (a wave span containing checkpoint spans); they are
+    drawn longest-first so short spans stay visible on top.  Used by
+    :mod:`repro.obs.timeline` for the worker-utilization view.
+    """
+    top, left, right, bottom = 44, 116, 16, 42
+    height = top + row_height * max(len(rows), 1) + bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 22, title, size=14)
+    t_max = max(
+        (t1 for _, boxes in rows for _, t1, _, _ in boxes), default=0.0
+    )
+    t_max = max(t_max, 1e-9)
+    x0, x1 = left, width - right
+    scale = (x1 - x0) / t_max
+    axis_y = top + row_height * max(len(rows), 1)
+    for i in range(5):
+        x = x0 + (i / 4) * (x1 - x0)
+        canvas.line(x, top, x, axis_y, stroke="#eee")
+        canvas.line(x, axis_y, x, axis_y + 4, stroke="#333")
+        canvas.text(x, axis_y + 16, f"{(i / 4) * t_max:.2f}", size=10)
+    canvas.line(x0, axis_y, x1, axis_y, stroke="#333")
+    canvas.text((x0 + x1) / 2, axis_y + 32, xlabel, size=11)
+    for i, (label, boxes) in enumerate(rows):
+        y = top + i * row_height
+        if i % 2:
+            canvas.rect(x0, y, x1 - x0, row_height, fill="#f7f9fb")
+        canvas.text(x0 - 8, y + row_height / 2 + 4, label, size=10,
+                    anchor="end")
+        for t0, t1, box_label, color in sorted(
+            boxes, key=lambda b: b[0] - b[1]
+        ):
+            bx = x0 + max(t0, 0.0) * scale
+            bw = max((t1 - t0) * scale, 1.0)
+            canvas.rect(bx, y + 4, bw, row_height - 8,
+                        fill=PALETTE[color % len(PALETTE)], stroke="white",
+                        opacity=0.9)
+            # ~6.2 px/char at size 9; label only boxes that can fit text
+            if bw >= 6.2 * len(str(box_label)) + 6:
+                canvas.text(bx + bw / 2, y + row_height / 2 + 3.5,
+                            box_label, size=9, fill="#fff")
     return canvas
 
 

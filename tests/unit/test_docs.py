@@ -63,6 +63,26 @@ class TestDocsReferenceRealCode:
         assert anchor in (ROOT / "docs" / "adaptive.md").read_text()
         assert "docs/" + anchor in (ROOT / "README.md").read_text()
 
+    def test_observability_doc_covers_tracing_and_timelines(self):
+        text = (ROOT / "docs" / "observability.md").read_text()
+        assert "## Causal tracing" in text
+        assert "## Worker timelines" in text
+        # the sink/exporter architecture diagram names the real pieces
+        for piece in ("chrome_trace", "otlp_trace", "worker_utilization",
+                      "timeline_swimlane_svg", "ObsSnapshot.trace",
+                      "*.timeline.jsonl"):
+            assert piece in text, piece
+        # cross-linked from the performance, engine and README pages
+        perf = (ROOT / "docs" / "performance.md").read_text()
+        assert "observability.md#worker-timelines" in perf
+        assert "observability.md#causal-tracing" in perf
+        assert "observability.md#causal-tracing" in (
+            ROOT / "docs" / "engine.md"
+        ).read_text()
+        assert "docs/observability.md#worker-timelines" in (
+            ROOT / "README.md"
+        ).read_text()
+
     def test_documented_cli_flags_exist(self):
         """Flags and subcommands the docs advertise must parse."""
         import io
@@ -75,5 +95,6 @@ class TestDocsReferenceRealCode:
             main(["--help"])
         help_text = buf.getvalue()
         for flag in ("--serve-obs", "--profile", "--trace-out", "--lanes",
-                     "--progress", "--metrics-summary", "obs-profile"):
+                     "--progress", "--metrics-summary", "obs-profile",
+                     "--timeline", "obs-timeline"):
             assert flag in help_text, flag
