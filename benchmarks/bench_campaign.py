@@ -20,6 +20,15 @@ docs/performance.md), verifies bit-identical joints, and *asserts* a
 >= 4x trials/sec speedup at ``lanes=32`` — deterministic single-process
 work, so enforced in ``--quick`` mode too.
 
+Each fault-scenario family (``bitflip`` / ``rankkill`` /
+``msgcorrupt``, see docs/scenarios.md) then runs the same deployment
+through the pluggable dispatch path, recording per-family trials/sec
+under the ``"scenarios"`` key.  Bit flips through the scenario layer
+must stay bit-identical to the direct serial run, and (outside
+``--quick`` mode) within 3% of its wall-clock — and of the prior
+``BENCH_campaign.json``'s scenario-path time when a comparable record
+exists.
+
 An adaptive (``ci_halfwidth``) MG campaign then runs against the
 fixed-N worst-case budget for the same ±0.08 precision target; the
 benchmark asserts it converges with >= 25% fewer trials (deterministic,
@@ -80,6 +89,14 @@ MAX_DISABLED_PROFILE_DRIFT = 0.05
 # trial) must be unmeasurable: a tracing-off re-run (best of 3) may not
 # exceed the baseline serial wall-clock by more than 2%.
 MAX_DISABLED_TRACE_OVERHEAD = 0.02
+
+# The scenario layer's dispatch (resolve_model + one virtual call per
+# trial) must be free: the bit-flip family timed *through* the pluggable
+# path may not run more than 3% slower than the direct serial baseline,
+# and — when a comparable prior BENCH_campaign.json exists — more than
+# 3% slower than the previous record's scenario-path time.
+MAX_SCENARIO_DISPATCH_OVERHEAD = 0.03
+SCENARIO_FAMILIES = ("bitflip", "rankkill", "msgcorrupt")
 
 # Adaptive stopping must beat the fixed-N worst-case budget by >= 25%
 # at the same precision target on a skewed deployment (MG's outcome
@@ -165,6 +182,97 @@ def _bench_lanes(app, nprocs: int, quick: bool) -> tuple[dict, bool]:
         "speedup": {str(n): round(s, 3) for n, s in speedups.items()},
         "parity_ok": parity_ok,
     }
+    return record, ok
+
+
+def _bench_scenarios(
+    app,
+    deployment,
+    serial_time: float,
+    serial_joint: dict,
+    prior: dict | None,
+    quick: bool,
+) -> tuple[dict, bool]:
+    """Per-family trials/sec through the pluggable scenario layer.
+
+    ``bitflip`` is the same physics the rest of the benchmark times, so
+    its joint must stay bit-identical to the direct serial run and its
+    wall-clock within ``MAX_SCENARIO_DISPATCH_OVERHEAD`` of it (the
+    dispatch indirection must be free); ``rankkill`` / ``msgcorrupt``
+    establish the throughput record for the system-level families.
+    """
+    from dataclasses import replace
+
+    from repro.fi.campaign import run_campaign
+
+    trials = deployment.trials
+    print(f"bench_scenarios: app={app.name} nprocs={deployment.nprocs} "
+          f"trials={trials}")
+    times: dict[str, float] = {}
+    ok = True
+    for family in SCENARIO_FAMILIES:
+        dep = replace(deployment, scenario=family)
+        t0 = time.perf_counter()
+        result = run_campaign(app, dep, jobs=1)
+        times[family] = time.perf_counter() - t0
+        print(f"  --scenario {family:<11s} {times[family]:7.2f}s  "
+              f"{trials / times[family]:7.1f} trials/s")
+        if family == "bitflip" and (
+            result.joint != serial_joint
+            or list(result.joint) != list(serial_joint)
+        ):
+            print("FAIL: bit flips through the scenario layer diverged "
+                  "from the direct serial run", file=sys.stderr)
+            ok = False
+
+    dispatch_overhead = times["bitflip"] / serial_time - 1.0
+    print(f"  bitflip dispatch overhead vs serial baseline  "
+          f"{100 * dispatch_overhead:+.1f}%")
+    if not quick and dispatch_overhead > MAX_SCENARIO_DISPATCH_OVERHEAD:
+        print(f"FAIL: scenario dispatch adds {100 * dispatch_overhead:.1f}% "
+              f"> {100 * MAX_SCENARIO_DISPATCH_OVERHEAD:.0f}% to bit-flip "
+              f"wall-clock", file=sys.stderr)
+        ok = False
+
+    record = {
+        "trials": trials,
+        "times_s": {f: round(t, 4) for f, t in times.items()},
+        "trials_per_s": {f: round(trials / t, 1) for f, t in times.items()},
+        "bitflip_dispatch_overhead": round(dispatch_overhead, 4),
+    }
+
+    # throughput drift vs the previous record's scenario-path time, when
+    # one was captured on a comparable configuration
+    prior_bitflip = (
+        prior.get("scenarios", {}).get("times_s", {}).get("bitflip")
+        if prior is not None else None
+    )
+    comparable = (
+        isinstance(prior_bitflip, (int, float))
+        and prior.get("quick") == quick
+        and all(
+            prior.get(key) == value for key, value in (
+                ("bench", "campaign"), ("app", app.name),
+                ("nprocs", deployment.nprocs), ("trials", trials),
+                ("cpu_count", os.cpu_count() or 1),
+            )
+        )
+    )
+    if comparable:
+        drift = times["bitflip"] / prior_bitflip - 1.0
+        record["bitflip_drift_vs_prior"] = round(drift, 4)
+        print(f"  bitflip throughput drift vs prior run  "
+              f"{prior_bitflip:7.2f}s -> {times['bitflip']:7.2f}s  "
+              f"({100 * drift:+.1f}%)")
+        if not quick and drift > MAX_SCENARIO_DISPATCH_OVERHEAD:
+            print(f"FAIL: bit-flip scenario wall-clock regressed "
+                  f"{100 * drift:.1f}% > "
+                  f"{100 * MAX_SCENARIO_DISPATCH_OVERHEAD:.0f}% vs the "
+                  f"prior benchmark", file=sys.stderr)
+            ok = False
+    else:
+        print("  (bitflip throughput drift check skipped: no comparable "
+              "prior scenarios record)")
     return record, ok
 
 
@@ -434,6 +542,21 @@ def main(argv: list[str] | None = None) -> int:
 
     lanes_record, lanes_ok = _bench_lanes(app, args.nprocs, args.quick)
 
+    # the previous benchmark on disk is the drift baseline for both the
+    # profiler's disabled path and the scenario layer's bit-flip
+    # throughput — read it before overwriting
+    out = Path(args.out)
+    prior: dict | None = None
+    if out.exists():
+        try:
+            prior = json.loads(out.read_text())
+        except (OSError, json.JSONDecodeError):
+            prior = None
+
+    scenarios_record, scenarios_ok = _bench_scenarios(
+        app, deployment, serial_time, serial_joint, prior, args.quick
+    )
+
     adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
 
     record = {
@@ -456,18 +579,10 @@ def main(argv: list[str] | None = None) -> int:
         "profile": profile_record,
         "trace": trace_record,
         "lanes": lanes_record,
+        "scenarios": scenarios_record,
         "adaptive": adaptive_record,
     }
 
-    # the previous benchmark on disk is the drift baseline — read it
-    # before overwriting
-    out = Path(args.out)
-    prior: dict | None = None
-    if out.exists():
-        try:
-            prior = json.loads(out.read_text())
-        except (OSError, json.JSONDecodeError):
-            prior = None
     drift, drift_ok = _check_disabled_drift(
         prior, record, serial_time, args.quick
     )
@@ -482,7 +597,8 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: parallel joint distribution diverged from serial",
               file=sys.stderr)
         return 1
-    if not profile_ok or not trace_ok or not lanes_ok or not adaptive_ok:
+    if (not profile_ok or not trace_ok or not lanes_ok
+            or not scenarios_ok or not adaptive_ok):
         return 1
     if not drift_ok:
         return 1

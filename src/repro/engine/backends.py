@@ -25,8 +25,8 @@ fan-out, a batch scheduler, MPI itself) drops into:
 
 Two implementations ship: :class:`InlineBackend` (the classic
 in-process loop) and :class:`ProcessPoolBackend` (a spawn-safe
-``ProcessPoolExecutor``, migrated here from the original
-``repro.fi.parallel`` module).
+``ProcessPoolExecutor``, migrated here from the original — since
+removed — ``repro.fi.parallel`` module).
 """
 
 from __future__ import annotations

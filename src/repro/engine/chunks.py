@@ -162,6 +162,14 @@ def execute_chunk(
     # Profiling runs must meter per-trial op counts/time, which a shared
     # batched pass cannot attribute — profiling forces the scalar path.
     effective_lanes = 1 if ctx.profiling else max(1, ctx.lanes)
+    if effective_lanes > 1:
+        from repro.fi.scenarios import resolve_model  # circular at import
+
+        # lane batching replays bit-flip trial semantics only; other
+        # scenario families fall back to the scalar path (run_campaign
+        # already warned once)
+        if not resolve_model(ctx.deployment.scenario).supports_lanes:
+            effective_lanes = 1
 
     mem: MemorySink | None = None
     if not capture:

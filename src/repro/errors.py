@@ -99,3 +99,28 @@ class SimulatedCrashError(FaultActivatedError):
 
 class SimulatedHangError(FaultActivatedError):
     """The application would have hung (e.g. a solver stopped converging)."""
+
+
+class InjectedDeadlockError(DeadlockError, FaultActivatedError):
+    """An injected system-level fault left live ranks blocked forever.
+
+    Raised by the scheduler instead of the plain :class:`DeadlockError`
+    when an armed fault (a rank fail-stop) actually fired before the
+    ranks wedged — the surviving ranks are waiting on point-to-point
+    messages the dead rank will never send.  Deriving from both bases
+    keeps existing ``except DeadlockError`` handlers working while
+    letting scenario drivers distinguish fault-induced deadlocks from
+    harness bugs in provenance records.
+    """
+
+
+class CollectiveAbortError(CommunicatorError, FaultActivatedError):
+    """Communication involving a fail-stopped rank aborted the application.
+
+    The analogue of MPI's default error handler tearing the job down on
+    any communication failure: a send targeting a dead rank, or a
+    collective that can never complete because a participant was
+    fail-stopped after others entered it.  Distinguished from
+    :class:`InjectedDeadlockError` (a silent wedge) so rank-kill
+    campaigns can report abort vs deadlock rates separately.
+    """

@@ -29,7 +29,9 @@ durable every N trials, and ``--resume`` restarts an interrupted run
 from its last checkpoint (see docs/engine.md).  ``--ci-halfwidth H``
 turns every campaign adaptive: ``--trials`` becomes a cap and each
 deployment stops as soon as its outcome rates reach the requested 95%
-Wilson half-width (see docs/adaptive.md).
+Wilson half-width (see docs/adaptive.md).  ``--scenario NAME[:k=v,...]``
+selects the fault-scenario family injected per trial — ``bitflip`` (the
+default), ``rankkill``, or ``msgcorrupt`` (see docs/scenarios.md).
 """
 
 from __future__ import annotations
@@ -305,6 +307,14 @@ def main(argv: list[str] | None = None) -> int:
              "docs/adaptive.md). Default: $REPRO_CI_HALFWIDTH or fixed-N",
     )
     parser.add_argument(
+        "--scenario", metavar="NAME[:k=v,...]", default=None,
+        help="fault-scenario family injected per trial: bitflip (default), "
+             "rankkill (fail-stop a rank; rank=R pins the victim), or "
+             "msgcorrupt (flip a bit in a message in transit; bit=B pins "
+             "the bit). See docs/scenarios.md. Default: $REPRO_SCENARIO "
+             "or bitflip",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSONL observability trace (replay with obs-report)",
     )
@@ -376,6 +386,21 @@ def main(argv: list[str] | None = None) -> int:
         # Same env-var relay as --jobs: every deployment resolves its
         # precision target via repro.fi.campaign.default_ci_halfwidth.
         os.environ["REPRO_CI_HALFWIDTH"] = repr(args.ci_halfwidth)
+
+    if args.scenario is not None:
+        from repro.errors import ConfigurationError
+        from repro.fi.scenarios import canonical_scenario
+
+        try:
+            canonical = canonical_scenario(args.scenario)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        # Same env-var relay as --jobs: every deployment resolves its
+        # fault family via repro.fi.campaign.default_scenario.  The
+        # canonical default (parameterless bit flips) relays as the
+        # explicit name so --scenario bitflip still overrides an
+        # inherited $REPRO_SCENARIO.
+        os.environ["REPRO_SCENARIO"] = canonical or "bitflip"
 
     serve_port = args.serve_obs
     if serve_port is None:

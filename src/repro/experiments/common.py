@@ -70,7 +70,7 @@ def default_trials(trials: int | None = None) -> int:
 def serial_sample_results(
     app: AppSpec, target_nprocs: int, n_samples: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
-    ci_halfwidth: float | None = None,
+    ci_halfwidth: float | None = None, scenario: str | None = None,
 ) -> dict[int, FaultInjectionResult]:
     """FI_ser_x at the sample plan's cases (multi-error serial runs)."""
     plan = SerialSamplePlan(large_nprocs=target_nprocs, n_samples=n_samples)
@@ -80,6 +80,7 @@ def serial_sample_results(
             nprocs=1, trials=trials, n_errors=x, region=Region.COMMON,
             seed=seed + _SEED_SERIAL + x, jobs=jobs,
             checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+            scenario=scenario,
         )
         out[x] = FaultInjectionResult.from_campaign(cached_campaign(app, dep))
     return out
@@ -88,13 +89,13 @@ def serial_sample_results(
 def small_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
-    ci_halfwidth: float | None = None,
+    ci_halfwidth: float | None = None, scenario: str | None = None,
 ) -> CampaignResult:
     """Single-error campaign at a small scale (propagation + alpha input)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_SMALL + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
-        ci_halfwidth=ci_halfwidth,
+        ci_halfwidth=ci_halfwidth, scenario=scenario,
     )
     return cached_campaign(app, dep)
 
@@ -102,13 +103,13 @@ def small_campaign(
 def measured_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
-    ci_halfwidth: float | None = None,
+    ci_halfwidth: float | None = None, scenario: str | None = None,
 ) -> CampaignResult:
     """Ground-truth campaign at the target scale (for accuracy figures)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_MEASURED + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
-        ci_halfwidth=ci_halfwidth,
+        ci_halfwidth=ci_halfwidth, scenario=scenario,
     )
     return cached_campaign(app, dep)
 
@@ -116,13 +117,14 @@ def measured_campaign(
 def unique_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
-    ci_halfwidth: float | None = None,
+    ci_halfwidth: float | None = None, scenario: str | None = None,
 ) -> CampaignResult:
     """Campaign with every error forced into the parallel-unique region."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, region=Region.PARALLEL_UNIQUE,
         seed=seed + _SEED_UNIQUE + nprocs, jobs=jobs,
         checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+        scenario=scenario,
     )
     return cached_campaign(app, dep)
 

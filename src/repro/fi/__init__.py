@@ -10,6 +10,9 @@ The package implements the paper's fault-injection methodology (§2):
   that counts instructions and fires planned flips during execution;
 * :mod:`repro.fi.outcomes` — the three-way outcome classification
   (Success / SDC / Failure) of §2;
+* :mod:`repro.fi.scenarios` — pluggable fault-scenario families: the
+  default transient bit flips plus rank fail-stop and in-transit
+  message corruption (see ``docs/scenarios.md``);
 * :mod:`repro.fi.campaign` — fault-injection *deployments*: many trials
   with a fixed configuration, aggregated into rates and propagation
   histograms.
@@ -19,6 +22,15 @@ from repro.fi.profile import InstructionProfile
 from repro.fi.plan import PlannedFlip, InjectionPlan, sample_plan
 from repro.fi.tracer import Tracer, TracerMode
 from repro.fi.outcomes import Outcome, TrialRecord, classify_outcome
+from repro.fi.scenarios import (
+    SCENARIOS,
+    BitFlipModel,
+    FaultModel,
+    MessageCorruptionModel,
+    RankKillModel,
+    canonical_scenario,
+    resolve_model,
+)
 from repro.fi.campaign import Deployment, CampaignResult, run_campaign
 
 __all__ = [
@@ -31,6 +43,13 @@ __all__ = [
     "Outcome",
     "TrialRecord",
     "classify_outcome",
+    "SCENARIOS",
+    "FaultModel",
+    "BitFlipModel",
+    "RankKillModel",
+    "MessageCorruptionModel",
+    "canonical_scenario",
+    "resolve_model",
     "Deployment",
     "CampaignResult",
     "run_campaign",

@@ -23,6 +23,7 @@ from repro.fi.campaign import (
     Deployment,
     run_campaign,
     with_resolved_ci,
+    with_resolved_scenario,
 )
 from repro.fi.outcomes import Outcome
 from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
@@ -67,6 +68,8 @@ def deployment_key(deployment: Deployment) -> str:
         key += f",ms={deployment.max_steps}"  # changes outcomes when set
     if deployment.ci_halfwidth is not None:  # adaptive stopping changes
         key += f",ci={deployment.ci_halfwidth!r}"  # the executed trial set
+    if deployment.scenario is not None:  # non-default fault family: the
+        key += f",sc={deployment.scenario}"  # canonical default is None
     return key
 
 
@@ -198,10 +201,10 @@ def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
     incident.  Hits, misses and writes are counted with byte sizes when
     observability is enabled.
     """
-    # pin the effective precision target before keying: an adaptive run
-    # executes a different trial set, so it must never share a cache
-    # entry (or checkpoint identity) with the fixed-N campaign
-    deployment = with_resolved_ci(deployment)
+    # pin the effective precision target and fault scenario before
+    # keying: both change what the trials execute, so they must never
+    # share a cache entry (or checkpoint identity) with other settings
+    deployment = with_resolved_scenario(with_resolved_ci(deployment))
     if not cache_enabled():
         return run_campaign(app, deployment)
     obs = get_recorder()

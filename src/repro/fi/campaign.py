@@ -17,26 +17,18 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Generator, Protocol
 
-from repro.errors import (
-    CommunicatorError,
-    ConfigurationError,
-    DeadlockError,
-    FaultActivatedError,
-)
-from repro.fi.outcomes import Outcome, TrialRecord, classify_outcome
-from repro.fi.plan import sample_plan
+from repro.errors import ConfigurationError
+from repro.fi.outcomes import Outcome, TrialRecord
 from repro.fi.profile import InstructionProfile
+from repro.fi.scenarios import canonical_scenario, resolve_model
 from repro.fi.tracer import Tracer, TracerMode
 from repro.mpisim.runner import execute_spmd
 from repro.obs import (
     CampaignFinished,
     CampaignStarted,
-    FaultInjected,
     ProfileScope,
-    TrialFinished,
     get_recorder,
 )
-from repro.obs.provenance import build_trial_provenance
 from repro.obs.trace import (
     TraceContext,
     TraceScope,
@@ -45,13 +37,13 @@ from repro.obs.trace import (
     trace_id_from,
 )
 from repro.taint.region import Region
-from repro.utils.rng import trial_seed
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
     "default_jobs", "default_lanes", "default_checkpoint_every",
-    "default_resume", "default_ci_halfwidth", "with_resolved_ci",
+    "default_resume", "default_ci_halfwidth", "default_scenario",
+    "with_resolved_ci", "with_resolved_scenario",
     "AppProtocol",
 ]
 
@@ -164,6 +156,27 @@ def default_ci_halfwidth() -> float | None:
     return value
 
 
+def default_scenario() -> str | None:
+    """Fault-scenario family: ``$REPRO_SCENARIO``, falling back to bit flips.
+
+    None means the classic transient bit-flip pipeline.  Specs are
+    ``name[:k=v,...]`` (see :mod:`repro.fi.scenarios`); a malformed or
+    unknown spec warns once on stderr and leaves the default family in
+    place rather than aborting an otherwise valid run.
+    """
+    raw = os.environ.get("REPRO_SCENARIO")
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        return canonical_scenario(raw)
+    except ConfigurationError as exc:
+        print(
+            f"repro: warning: ignoring REPRO_SCENARIO={raw!r}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
 class AppProtocol(Protocol):
     """What the campaign driver needs from an application."""
 
@@ -201,6 +214,9 @@ class Deployment:
                                          # None = $REPRO_CHECKPOINT_EVERY
     ci_halfwidth: float | None = None   # adaptive precision target; None =
                                         # $REPRO_CI_HALFWIDTH, else fixed-N
+    scenario: str | None = None         # fault-scenario spec (see
+                                        # repro.fi.scenarios); None =
+                                        # $REPRO_SCENARIO, else bit flips
 
     def __post_init__(self) -> None:
         check_positive_int(self.nprocs, "nprocs")
@@ -221,6 +237,11 @@ class Deployment:
             raise ConfigurationError(
                 "multi-error deployments on parallel executions must pin target_rank"
             )
+        if self.scenario is not None:
+            # validate and canonicalize eagerly (parameterless bit flips
+            # normalize to None) so equal configurations compare equal
+            # and derive identical cache/checkpoint identities
+            object.__setattr__(self, "scenario", canonical_scenario(self.scenario))
 
     @property
     def effective_target_rank(self) -> int | None:
@@ -316,71 +337,17 @@ def run_one_trial(
 ) -> TrialRecord:
     """Execute fault-injection test ``trial`` of ``deployment``.
 
-    The per-trial decisions depend only on ``(deployment.seed, trial)``
-    via :func:`~repro.utils.rng.trial_seed`, so trials can run in any
-    order — or in any process — and produce identical records.  Both the
+    Dispatches to the deployment's fault-scenario family
+    (:mod:`repro.fi.scenarios`; ``None`` = the default transient bit
+    flips).  Every family guarantees that per-trial decisions depend
+    only on ``(deployment.seed, trial)`` via
+    :func:`~repro.utils.rng.trial_seed`, so trials can run in any order
+    — or in any process — and produce identical records.  Both the
     serial campaign loop and the parallel workers
-    (:mod:`repro.fi.parallel`) call this one function.
+    (:mod:`repro.engine`) call this one function.
     """
-    trial_t0 = time.perf_counter()
-    # clock reads only: tracing must not perturb the trial itself
-    tracing = obs.enabled and obs.tracing and obs.trace_ctx is not None
-    trial_w0 = time.time() if tracing else 0.0
-    with obs.span("trial"):
-        rng = trial_seed(deployment.seed, trial)
-        with obs.span("plan"):
-            plan = sample_plan(
-                profile,
-                rng,
-                n_errors=deployment.n_errors,
-                target_rank=deployment.effective_target_rank,
-                region=deployment.region,
-                bits_per_error=deployment.bits_per_error,
-            )
-        tracer = Tracer(TracerMode.INJECT, plan)
-        detail = ""
-        try:
-            with obs.span("inject"):
-                outs = execute_spmd(
-                    app.program, deployment.nprocs, sink=tracer,
-                    max_steps=deployment.max_steps,
-                )
-        except FaultActivatedError as exc:
-            outcome, detail = Outcome.FAILURE, f"crash: {exc}"
-        except (DeadlockError, CommunicatorError) as exc:
-            outcome, detail = Outcome.FAILURE, f"hang: {exc}"
-        else:
-            with obs.span("classify"):
-                outcome = classify_outcome(outs[0], reference, app.verify)
-    record = TrialRecord(
-        outcome=outcome,
-        n_contaminated=tracer.contaminated_count(),
-        activated=tracer.all_flips_activated,
-        detail=detail,
-    )
-    if obs.enabled:
-        obs.counter(f"campaign.trials.{outcome.value}")
-        obs.observe("taint.contamination_spread", record.n_contaminated)
-        for flip in tracer.activated_flips:
-            obs.emit(FaultInjected(
-                trial=trial, rank=flip.rank, region=flip.region.value,
-                index=flip.index, bit=flip.bit,
-            ))
-        obs.emit(TrialFinished(
-            trial=trial, outcome=outcome.value,
-            n_contaminated=record.n_contaminated,
-            activated=record.activated,
-            duration_s=time.perf_counter() - trial_t0,
-        ))
-        obs.emit(build_trial_provenance(trial, plan, tracer, record))
-    if tracing:
-        parent = obs.trace_ctx
-        obs.add_trace_span(make_span(
-            f"trial {trial}", "trial", parent.derive("trial", trial),
-            parent.span_id, trial_w0, time.perf_counter() - trial_t0,
-            args={"trial": trial, "outcome": outcome.value},
-        ))
-    return record
+    model = resolve_model(deployment.scenario)
+    return model.run_trial(app, deployment, profile, reference, trial, obs)
 
 
 def _resolve_jobs(jobs: int | None, deployment: Deployment) -> int:
@@ -434,6 +401,32 @@ def with_resolved_ci(
     return replace(deployment, ci_halfwidth=ci_halfwidth)
 
 
+def with_resolved_scenario(
+    deployment: Deployment, scenario: str | None = None
+) -> Deployment:
+    """Materialize the effective fault scenario into the deployment.
+
+    Precedence: call arg > ``Deployment.scenario`` > ``$REPRO_SCENARIO``
+    > bit flips.  Like the precision target — and unlike pure execution
+    knobs — the scenario *changes what each trial does*, so it must be
+    pinned into the deployment before cache keys or checkpoint
+    identities are derived; both :func:`run_campaign` and
+    :func:`repro.fi.cache.cached_campaign` resolve through here.  The
+    canonical form of the parameterless default family is ``None``, so
+    deployments that never mention scenarios keep their pre-scenario
+    cache entries and checkpoint directories.
+    """
+    if scenario is not None:
+        scenario = canonical_scenario(scenario)
+    elif deployment.scenario is not None:
+        scenario = deployment.scenario
+    else:
+        scenario = default_scenario()
+    if scenario == deployment.scenario:
+        return deployment
+    return replace(deployment, scenario=scenario)
+
+
 def run_campaign(
     app: AppProtocol,
     deployment: Deployment,
@@ -443,6 +436,7 @@ def run_campaign(
     checkpoint_every: int | None = None,
     resume: bool | None = None,
     ci_halfwidth: float | None = None,
+    scenario: str | None = None,
 ) -> CampaignResult:
     """Run a full fault-injection deployment for ``app``.
 
@@ -472,10 +466,27 @@ def run_campaign(
     soon as every outcome rate's 95% Wilson half-width is at or below H
     (see ``docs/adaptive.md``) — still bit-identical for any ``jobs``
     and across interrupt/resume.
+
+    ``scenario`` selects the fault-scenario family executed per trial
+    (``"bitflip"`` — the default — ``"rankkill"``, ``"msgcorrupt"``;
+    see ``docs/scenarios.md``).  Scenarios compose with every knob
+    above, except that only the bit-flip family supports lane batching
+    — other families fall back to the scalar path with a one-line
+    warning.
     """
-    deployment = with_resolved_ci(deployment, ci_halfwidth)
+    deployment = with_resolved_scenario(
+        with_resolved_ci(deployment, ci_halfwidth), scenario
+    )
     n_jobs = _resolve_jobs(jobs, deployment)
     n_lanes = _resolve_lanes(lanes, deployment)
+    model = resolve_model(deployment.scenario)
+    if n_lanes > 1 and not model.supports_lanes:
+        print(
+            f"repro: warning: scenario {model.name!r} does not support "
+            f"lane batching; running trials on the scalar path",
+            file=sys.stderr,
+        )
+        n_lanes = 1
     ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
     do_resume = default_resume() if resume is None else resume
     obs = get_recorder()

@@ -1,0 +1,250 @@
+"""The pluggable fault-model contract behind every scenario family.
+
+A :class:`FaultModel` owns every scenario-specific decision of one
+fault-injection trial: sampling the trial's plan from the fault-free
+execution, arming the right seam (the instruction-level tracer, the
+scheduler's fail-stop controller, or its in-transit payload hook),
+mapping exceptions and outputs to an outcome, and shaping the
+provenance payload.  The campaign driver
+(:mod:`repro.fi.campaign`) dispatches each trial through
+``resolve_model(deployment.scenario).run_trial(...)`` and otherwise
+never names a concrete family — adding a scenario touches this package
+only.
+
+Two invariants every model must uphold:
+
+* **Determinism** — every per-trial decision derives from the
+  ``numpy`` generator seeded by ``(deployment.seed, trial)``, so trials
+  produce identical records in any order, in any worker process, and
+  across checkpoint/resume.
+* **Outcome-only side effects** — a model reports through the
+  :class:`~repro.fi.outcomes.TrialRecord` and the observability
+  recorder; it must not mutate the app, the deployment, or the profile.
+
+System-level families (rank fail-stop, message corruption) sample their
+fault sites against the *fault-free execution extent* — total scheduler
+steps and total corruptible payload deliveries — probed once per
+``(app, nprocs, max_steps)`` by :func:`execution_dynamics` and memoized
+per process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Protocol
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TrialProvenance
+from repro.taint.tarray import TArray
+
+if TYPE_CHECKING:  # avoid runtime cycles: campaign imports this package
+    import numpy as np
+
+    from repro.fi.campaign import AppProtocol, Deployment
+    from repro.fi.outcomes import TrialRecord
+    from repro.fi.profile import InstructionProfile
+
+__all__ = [
+    "ScenarioPlan",
+    "FaultModel",
+    "ExecutionDynamics",
+    "execution_dynamics",
+    "count_corruptible",
+    "emit_scenario_provenance",
+]
+
+
+class ScenarioPlan(Protocol):
+    """What one trial will inject, in scenario-specific terms.
+
+    The only shared requirement is a provenance payload:
+    ``to_payload()`` returns one JSON-able dict per planned fault.
+    Scenario payloads carry a ``"scenario"`` key so provenance loaders
+    can distinguish them from classic bit-flip sites.
+    """
+
+    def to_payload(self) -> list[dict]: ...
+
+
+@dataclass(frozen=True)
+class ExecutionDynamics:
+    """Fault-free execution extent used to sample system-level fault sites."""
+
+    steps: int        #: total deterministic scheduler steps
+    deliveries: int   #: corruptible payload deliveries (TArray leaves in transit)
+
+
+def count_corruptible(payload: Any) -> int:
+    """Number of corruptible (TArray) leaves inside one delivered payload."""
+    if isinstance(payload, TArray):
+        return 1
+    if isinstance(payload, dict):
+        return sum(count_corruptible(v) for v in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(count_corruptible(v) for v in payload)
+    return 0
+
+
+class _DeliveryCounter:
+    """Transit hook that tallies corruptible deliveries without touching them."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def on_p2p(self, src: int, dst: int, payload: Any) -> Any:
+        self.count += count_corruptible(payload)
+        return payload
+
+    def on_collective(self, kind: str, rank: int, payload: Any) -> Any:
+        self.count += count_corruptible(payload)
+        return payload
+
+
+#: (app cache key, nprocs, max_steps) -> probed dynamics, per process
+_DYNAMICS: dict[tuple[str, int, int | None], ExecutionDynamics] = {}
+
+
+def execution_dynamics(
+    app: "AppProtocol", deployment: "Deployment"
+) -> ExecutionDynamics:
+    """Probe (and memoize) the fault-free extent of ``app`` at this scale.
+
+    Runs the application once through the scheduler with no sink and a
+    counting transit hook.  The result depends only on
+    ``(app, nprocs, max_steps)`` — the scheduler is deterministic — so
+    one probe per process serves every trial, and every worker process
+    measures the same numbers.
+    """
+    key = (app.cache_key(), deployment.nprocs, deployment.max_steps)
+    hit = _DYNAMICS.get(key)
+    if hit is not None:
+        return hit
+    from repro.mpisim.scheduler import Scheduler
+    from repro.taint.ops import FPOps
+
+    def factory(rank, comm):
+        return app.program(rank, deployment.nprocs, comm, FPOps(None, rank))
+
+    counter = _DeliveryCounter()
+    scheduler = Scheduler(
+        deployment.nprocs, factory,
+        max_steps=deployment.max_steps, transit=counter,
+    )
+    scheduler.run()
+    dynamics = ExecutionDynamics(steps=scheduler.steps, deliveries=counter.count)
+    _DYNAMICS[key] = dynamics
+    return dynamics
+
+
+def emit_scenario_provenance(
+    obs,
+    trial: int,
+    record: "TrialRecord",
+    planned: list[dict],
+    fired: list[dict],
+    timeline=(),
+) -> None:
+    """Emit the provenance event for one system-level scenario trial.
+
+    The scenario counterpart of
+    :func:`repro.obs.provenance.build_trial_provenance`: same event
+    type, same sidecar routing, but ``planned``/``fired`` carry
+    scenario payloads (dicts with a ``"scenario"`` key) instead of
+    bit-flip sites, and the contamination ``timeline`` is whatever the
+    scenario's sink observed.  No wall-clock fields, so scenario
+    provenance files stay bit-identical for any ``jobs`` count too.
+    """
+    obs.emit(TrialProvenance(
+        trial=trial,
+        outcome=record.outcome.value,
+        n_contaminated=record.n_contaminated,
+        activated=record.activated,
+        detail=record.detail,
+        planned=[dict(p) for p in planned],
+        fired=[dict(p) for p in fired],
+        timeline=[[step, rank] for step, rank in timeline],
+    ))
+
+
+class FaultModel(abc.ABC):
+    """One pluggable fault-scenario family (see module docstring).
+
+    Subclasses set :attr:`name` (the spec name used by
+    ``--scenario``), :attr:`PARAMS` (accepted ``k=v`` spec parameters),
+    and :attr:`supports_lanes` (True only when ``run_trial`` semantics
+    are preserved by the lane-vectorized execution path — currently the
+    bit-flip family alone).
+    """
+
+    name: ClassVar[str]
+    #: parameter keys accepted in a ``name:k=v,...`` spec
+    PARAMS: ClassVar[tuple[str, ...]] = ()
+    #: whether lane batching (``lanes > 1``) may execute this family
+    supports_lanes: ClassVar[bool] = False
+
+    def __init__(self, params: dict[str, str] | None = None):
+        params = dict(params or {})
+        unknown = sorted(set(params) - set(self.PARAMS))
+        if unknown:
+            accepted = ", ".join(self.PARAMS) if self.PARAMS else "(none)"
+            raise ConfigurationError(
+                f"scenario {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {accepted}"
+            )
+        self._params = params
+
+    # ------------------------------------------------------------------
+    def params(self) -> dict[str, str]:
+        """The validated spec parameters this instance was built with."""
+        return dict(self._params)
+
+    def spec(self) -> str:
+        """Canonical ``name[:k=v,...]`` spec string (parameters sorted)."""
+        if not self._params:
+            return self.name
+        kv = ",".join(f"{k}={self._params[k]}" for k in sorted(self._params))
+        return f"{self.name}:{kv}"
+
+    def int_param(self, key: str, minimum: int = 0) -> int | None:
+        """Parse an optional integer spec parameter, or None when unset."""
+        raw = self._params.get(key)
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"scenario {self.name!r} parameter {key}={raw!r} is not an integer"
+            ) from None
+        if value < minimum:
+            raise ConfigurationError(
+                f"scenario {self.name!r} parameter {key}={value} must be >= {minimum}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def sample(
+        self,
+        profile: "InstructionProfile",
+        rng: "np.random.Generator",
+        *,
+        app: "AppProtocol",
+        deployment: "Deployment",
+    ) -> ScenarioPlan:
+        """Sample this trial's plan; consumes only ``rng`` state."""
+
+    @abc.abstractmethod
+    def run_trial(
+        self,
+        app: "AppProtocol",
+        deployment: "Deployment",
+        profile: "InstructionProfile",
+        reference: dict,
+        trial: int,
+        obs,
+    ) -> "TrialRecord":
+        """Execute one fault-injection test end to end (see invariants)."""

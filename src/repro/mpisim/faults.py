@@ -1,0 +1,57 @@
+"""System-level fault seams of the simulated MPI runtime.
+
+The scheduler accepts two optional, orthogonal fault controllers so
+scenario families (:mod:`repro.fi.scenarios`) can inject faults at the
+layers a real resilience study targets — the process and the network —
+without the simulator importing any fault-injection code:
+
+* :class:`RankFailure` — a fail-stop: one rank is terminated the first
+  time the scheduler's deterministic step counter reaches ``step``.
+  The scheduler records what actually happened (``fired`` /
+  ``fired_step``) on the controller, mirroring how a planned bit flip
+  can miss when the execution ends early.
+* a *transit hook* (:class:`TransitHook`) — an object whose
+  ``on_p2p(src, dst, payload)`` and ``on_collective(kind, rank,
+  payload)`` methods see every payload at its delivery point and return
+  the (possibly corrupted) payload to deliver instead.  Delivery order
+  is deterministic, so a hook that counts or targets the k-th payload
+  behaves identically across runs.
+
+Both seams cost one ``is not None`` test on their hot paths when unused,
+keeping the default bit-flip pipeline byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["RankFailure", "TransitHook"]
+
+
+@dataclass
+class RankFailure:
+    """One armed fail-stop: kill ``rank`` at scheduler step ``step``.
+
+    ``fired``/``fired_step`` are written by the scheduler when the kill
+    actually happens; a victim that finishes before ``step`` leaves the
+    controller unfired (the scenario's ``activated=False`` analogue).
+    """
+
+    rank: int
+    step: int
+    fired: bool = False
+    fired_step: int = -1
+
+
+@runtime_checkable
+class TransitHook(Protocol):
+    """In-transit payload interposition (duck-typed; see module docs)."""
+
+    def on_p2p(self, src: int, dst: int, payload: Any) -> Any:
+        """Called once per point-to-point delivery; returns the payload."""
+        ...
+
+    def on_collective(self, kind: str, rank: int, payload: Any) -> Any:
+        """Called once per per-rank collective delivery; returns the payload."""
+        ...

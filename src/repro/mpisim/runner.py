@@ -39,6 +39,8 @@ def execute_spmd(
     max_steps: int | None = None,
     ops_factory: Callable[[TraceSink | None, int], FPOps] | None = None,
     raw_outputs: bool = False,
+    fail_stop: "RankFailure | None" = None,
+    transit: "TransitHook | None" = None,
 ) -> list[Any]:
     """Run ``program`` on ``size`` simulated ranks; return per-rank outputs.
 
@@ -48,7 +50,12 @@ def execute_spmd(
     implementation (lane batching passes
     :class:`repro.taint.laneops.LaneFPOps`); ``raw_outputs=True``
     returns rank outputs as the program produced them (TArrays intact)
-    instead of normalizing to plain values.
+    instead of normalizing to plain values.  ``fail_stop`` and
+    ``transit`` arm the scheduler's system-level fault seams
+    (:mod:`repro.mpisim.faults`): a rank fail-stop controller and an
+    in-transit payload hook, used by the scenario families of
+    :mod:`repro.fi.scenarios`.  A fail-stopped rank contributes ``None``
+    as its output.
     """
     if ops_factory is None:
         ops_factory = FPOps
@@ -56,7 +63,10 @@ def execute_spmd(
     def factory(rank: int, comm: Communicator):
         return program(rank, size, comm, ops_factory(sink, rank))
 
-    outputs = Scheduler(size, factory, sink=sink, max_steps=max_steps).run()
+    outputs = Scheduler(
+        size, factory, sink=sink, max_steps=max_steps,
+        fail_stop=fail_stop, transit=transit,
+    ).run()
     if raw_outputs:
         return outputs
     return [_normalize_output(output) for output in outputs]

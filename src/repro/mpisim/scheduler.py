@@ -23,13 +23,20 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
-from repro.errors import CommunicatorError, DeadlockError, SimulatedHangError
+from repro.errors import (
+    CollectiveAbortError,
+    CommunicatorError,
+    DeadlockError,
+    InjectedDeadlockError,
+    SimulatedHangError,
+)
 from repro.mpisim.collectives import (
     payload_diverged,
     payload_lane_divergence,
     reduce_payloads,
 )
 from repro.mpisim.communicator import Communicator
+from repro.mpisim.faults import RankFailure, TransitHook
 from repro.mpisim.requests import (
     CollectiveKind,
     CollectiveRequest,
@@ -58,6 +65,7 @@ class _Envelope:
 class _RankState:
     generator: Generator[Request, Any, Any]
     done: bool = False
+    failed: bool = False        # fail-stopped by an armed RankFailure
     result: Any = None
     blocked_on: Request | None = None
     mailbox: deque = field(default_factory=deque)
@@ -73,6 +81,8 @@ class Scheduler:
         sink: TraceSink | None = None,
         max_steps: int | None = None,
         record_traffic: bool = False,
+        fail_stop: RankFailure | None = None,
+        transit: TransitHook | None = None,
     ):
         if size < 1:
             raise CommunicatorError(f"communicator size must be >= 1, got {size}")
@@ -80,6 +90,15 @@ class Scheduler:
         self._sink: TraceSink = sink if sink is not None else NullSink()
         self._max_steps = max_steps
         self._steps = 0
+        # System-level fault seams (repro.mpisim.faults): an armed rank
+        # fail-stop and/or an in-transit payload hook.  Both default to
+        # None so the bit-flip pipeline pays one attribute test per seam.
+        if fail_stop is not None and not 0 <= fail_stop.rank < size:
+            raise CommunicatorError(
+                f"fail_stop rank {fail_stop.rank} outside communicator of size {size}"
+            )
+        self._fail_stop = fail_stop
+        self._transit = transit
         # Provenance: let the sink date contamination marks with the
         # deterministic step counter (fault-spread timelines).  getattr
         # keeps minimal sinks (tests, NullSink substitutes) working.
@@ -137,10 +156,22 @@ class Scheduler:
             return self._run()
 
     def _run(self) -> list[Any]:
+        fail = self._fail_stop
         while True:
             while self._ready:
                 rank, resume = self._ready.popleft()
                 self._advance(rank, resume)
+            if (
+                fail is not None
+                and not fail.fired
+                and self._steps >= fail.step
+                and not self._states[fail.rank].done
+            ):
+                # the victim crossed the kill step while parked on
+                # communication (its own bursts are checked per step in
+                # _advance_impl) — fail-stop it now, then re-evaluate.
+                self._kill_rank()
+                continue
             if self._obs.enabled:
                 # gauge: ranks parked on communication each time the
                 # ready queue drains (once per collective/quiescence).
@@ -150,7 +181,7 @@ class Scheduler:
                 )
             if self._try_complete_collective():
                 continue
-            if all(s.done for s in self._states):
+            if all(s.done or s.failed for s in self._states):
                 if self._obs.enabled:
                     self._obs.counter("scheduler.steps", self._steps)
                     self._obs.counter("scheduler.runs")
@@ -187,7 +218,13 @@ class Scheduler:
     def _advance_impl(self, rank: int, resume: Any) -> None:
         state = self._states[rank]
         state.blocked_on = None
+        fail = self._fail_stop
+        watch = fail is not None and not fail.fired and rank == fail.rank
         while True:
+            if watch and self._steps >= fail.step:
+                # the victim dies mid-burst, before executing this step
+                self._kill_rank()
+                return
             self._steps += 1
             if self._max_steps is not None and self._steps > self._max_steps:
                 raise SimulatedHangError(
@@ -237,13 +274,22 @@ class Scheduler:
             key = (request.rank, request.dest)
             self.traffic[key] = self.traffic.get(key, 0) + 1
         dest = self._states[request.dest]
+        if dest.failed:
+            # MPI's default error handler: communication with a dead
+            # rank aborts the job rather than wedging the sender.
+            raise CollectiveAbortError(
+                f"rank {request.rank} sent to fail-stopped rank {request.dest}"
+            )
         if dest.done:
             raise CommunicatorError(
                 f"rank {request.rank} sent to rank {request.dest}, "
                 "which already finished"
             )
+        payload = request.payload
+        if self._transit is not None:
+            payload = self._transit.on_p2p(request.rank, request.dest, payload)
         dest.mailbox.append(
-            _Envelope(source=request.rank, tag=request.tag, payload=request.payload)
+            _Envelope(source=request.rank, tag=request.tag, payload=payload)
         )
         # If the destination is parked on a matching receive, hand over now.
         blocked = dest.blocked_on
@@ -305,9 +351,12 @@ class Scheduler:
             self.collective_counts[label] = self.collective_counts.get(label, 0) + 1
         results = self._collective_results(kind, posts)
         self._collective_posts = {}
+        transit = self._transit
         for rank in range(self.size):
             self._states[rank].blocked_on = None
             delivered = results[rank]
+            if transit is not None:
+                delivered = transit.on_collective(kind.value, rank, delivered)
             # Receiving data that differs from the fault-free run
             # contaminates the receiver — except its own round-tripped
             # contribution (bcast from self, own gather slot) which it
@@ -362,17 +411,48 @@ class Scheduler:
         raise AssertionError(f"unhandled collective kind {kind}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # fail-stop
+    # ------------------------------------------------------------------
+    def _kill_rank(self) -> None:
+        """Fail-stop the armed victim rank at the current step.
+
+        The rank's generator is closed, any queued resumptions are
+        dropped, and a pending collective post is withdrawn — from here
+        on the rank neither computes nor communicates.  Surviving ranks
+        either complete (the run finished without it), abort
+        (:class:`CollectiveAbortError` on contact), or wedge
+        (:class:`InjectedDeadlockError` from :meth:`_raise_deadlock`).
+        """
+        fail = self._fail_stop
+        assert fail is not None
+        state = self._states[fail.rank]
+        fail.fired = True
+        fail.fired_step = self._steps
+        state.failed = True
+        state.blocked_on = None
+        state.generator.close()
+        self._collective_posts.pop(fail.rank, None)
+        if self._ready:
+            self._ready = deque(
+                (r, v) for r, v in self._ready if r != fail.rank
+            )
+        if self._obs.enabled:
+            self._obs.counter("scheduler.rank_kills")
+
+    # ------------------------------------------------------------------
     def _raise_deadlock(self) -> None:
         ranks = []
         waiting = []
+        in_collective = False
         for rank, state in enumerate(self._states):
-            if state.done:
+            if state.done or state.failed:
                 continue
             ranks.append(rank)
             blocked = state.blocked_on
             if isinstance(blocked, RecvRequest):
                 waiting.append(f"rank {rank} waiting on recv(source={blocked.source}, tag={blocked.tag})")
             elif isinstance(blocked, CollectiveRequest):
+                in_collective = True
                 waiting.append(f"rank {rank} waiting in {blocked.kind.value}")
             else:  # pragma: no cover - defensive
                 waiting.append(f"rank {rank} blocked on {blocked!r}")
@@ -381,4 +461,15 @@ class Scheduler:
             self._obs.emit(SchedulerDeadlock(
                 blocked_ranks=ranks, pending_ops=waiting, steps=self._steps,
             ))
+        fail = self._fail_stop
+        if fail is not None and fail.fired:
+            message = (
+                f"rank {fail.rank} fail-stopped at step {fail.fired_step}: "
+                + "; ".join(waiting)
+            )
+            if in_collective:
+                # a collective over a dead participant can never
+                # complete — real MPI aborts the job
+                raise CollectiveAbortError(message)
+            raise InjectedDeadlockError(message)
         raise DeadlockError("no runnable rank: " + "; ".join(waiting))

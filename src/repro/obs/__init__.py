@@ -44,6 +44,8 @@ from repro.obs.events import (
     CheckpointWritten,
     Event,
     FaultInjected,
+    MessageCorrupted,
+    RankKilled,
     SchedulerDeadlock,
     SpanEnd,
     TrialFinished,
@@ -116,7 +118,8 @@ __all__ = [
     "Event", "CampaignStarted", "CampaignFinished", "CampaignResumed",
     "CampaignConverged", "CampaignPlanRevised", "CampaignProfile",
     "CampaignTrace", "CheckpointWritten", "TrialFinished",
-    "FaultInjected", "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
+    "FaultInjected", "RankKilled", "MessageCorrupted",
+    "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
     "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
     # provenance
     "FaultProvenance", "FlipObservation", "load_provenance", "provenance_path",

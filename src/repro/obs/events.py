@@ -25,6 +25,8 @@ __all__ = [
     "CheckpointWritten",
     "TrialFinished",
     "FaultInjected",
+    "RankKilled",
+    "MessageCorrupted",
     "TrialProvenance",
     "CacheHit",
     "CacheMiss",
@@ -225,6 +227,45 @@ class FaultInjected(Event):
 
 
 @dataclass(frozen=True)
+class RankKilled(Event):
+    """An armed fail-stop fired: ``rank`` was killed at scheduler ``step``.
+
+    Emitted by the rank-kill scenario family
+    (:mod:`repro.fi.scenarios.rankkill`); ``step`` is the deterministic
+    scheduler step at which the kill actually happened, which can trail
+    the sampled step when the victim was parked on communication.
+    """
+
+    type: ClassVar[str] = "rank_killed"
+
+    trial: int
+    rank: int
+    step: int
+
+
+@dataclass(frozen=True)
+class MessageCorrupted(Event):
+    """An in-transit payload corruption fired during a trial.
+
+    Emitted by the message-corruption scenario family
+    (:mod:`repro.fi.scenarios.msgcorrupt`).  ``kind`` is ``"p2p"`` or
+    the collective kind (``"allreduce"``, ``"bcast"``, ...); ``src`` is
+    the sending rank (-1 for collectives, whose results come from the
+    scheduler); ``dest`` the receiving rank; ``element``/``bit`` locate
+    the flipped bit inside the delivered payload.
+    """
+
+    type: ClassVar[str] = "message_corrupted"
+
+    trial: int
+    kind: str
+    src: int
+    dest: int
+    element: int
+    bit: int
+
+
+@dataclass(frozen=True)
 class TrialProvenance(Event):
     """Full fault provenance of one trial (site → spread → outcome).
 
@@ -318,7 +359,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
     for cls in (
         CampaignStarted, CampaignFinished, CampaignResumed, CampaignConverged,
         CampaignPlanRevised, CampaignProfile, CampaignTrace,
-        CheckpointWritten, TrialFinished, FaultInjected, TrialProvenance,
+        CheckpointWritten, TrialFinished, FaultInjected, RankKilled,
+        MessageCorrupted, TrialProvenance,
         CacheHit, CacheMiss, CacheWrite, CacheCorrupt, SchedulerDeadlock,
         SpanEnd,
     )

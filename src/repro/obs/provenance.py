@@ -17,11 +17,16 @@ into one :class:`FaultProvenance` record per trial:
 * the trial's final outcome.
 
 Records travel as :class:`~repro.obs.events.TrialProvenance` events, so
-they survive worker aggregation (:mod:`repro.fi.parallel` re-emits them
+they survive worker aggregation (:mod:`repro.engine` re-emits them
 in trial order) and land in a ``*.provenance.jsonl`` file next to the
 ``--trace-out`` trace.  Every field is a deterministic function of
 ``(deployment, trial)`` — no timestamps, no durations — so provenance
 files are **bit-identical** for any ``jobs`` count.
+
+System-level scenario families (:mod:`repro.fi.scenarios`) reuse the
+same event with scenario payloads — dicts carrying a ``"scenario"``
+key — in ``planned``/``fired``; loaders wrap those as
+:class:`ScenarioObservation` instead of :class:`FlipObservation`.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ if TYPE_CHECKING:  # avoid a runtime obs -> fi import cycle
 
 __all__ = [
     "FlipObservation",
+    "ScenarioObservation",
     "FaultProvenance",
     "build_trial_provenance",
     "provenance_path",
@@ -82,6 +88,32 @@ class FlipObservation:
 
 
 @dataclass(frozen=True)
+class ScenarioObservation:
+    """One fired system-level fault (rank kill, message corruption, ...).
+
+    Scenario payloads are open dictionaries — each family records its
+    own fields (see :mod:`repro.fi.scenarios`) — distinguished from
+    bit-flip observations by their ``"scenario"`` key.  ``bits`` is
+    empty so bit-position analyses (dashboard heatmaps) skip these
+    records transparently.
+    """
+
+    payload: dict[str, Any]
+
+    @property
+    def scenario(self) -> str:
+        """The family that produced this observation."""
+        return str(self.payload.get("scenario", ""))
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        return ()
+
+    def to_payload(self) -> dict[str, Any]:
+        return dict(self.payload)
+
+
+@dataclass(frozen=True)
 class FaultProvenance:
     """Everything known about one fault-injection trial, linked end to end."""
 
@@ -91,7 +123,9 @@ class FaultProvenance:
     activated: bool
     detail: str
     planned: tuple[dict, ...]            # sampled sites (plan payload)
-    fired: tuple[FlipObservation, ...]   # applied corruptions
+    #: applied corruptions — FlipObservation for bit flips,
+    #: ScenarioObservation for system-level scenario faults
+    fired: tuple[FlipObservation | ScenarioObservation, ...]
     timeline: tuple[tuple[int, int], ...]  # (scheduler step, rank)
 
     # ------------------------------------------------------------------
@@ -126,7 +160,11 @@ class FaultProvenance:
             activated=event.activated,
             detail=event.detail,
             planned=tuple(event.planned),
-            fired=tuple(FlipObservation.from_payload(b) for b in event.fired),
+            fired=tuple(
+                ScenarioObservation(dict(b)) if "scenario" in b
+                else FlipObservation.from_payload(b)
+                for b in event.fired
+            ),
             timeline=tuple((step, rank) for step, rank in event.timeline),
         )
 

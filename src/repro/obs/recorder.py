@@ -10,7 +10,7 @@ nothing else.
 
 Cross-process aggregation
 -------------------------
-Campaign workers (:mod:`repro.fi.parallel`) cannot share the parent's
+Campaign workers (:mod:`repro.engine`) cannot share the parent's
 recorder, so each worker records into a local recorder and ships an
 :class:`ObsSnapshot` — a picklable bundle of counters, histograms, span
 totals and buffered events — back with its results.  The parent calls

@@ -32,6 +32,7 @@ __all__ = [
     "checkpoint_summary",
     "convergence_summary",
     "trial_latency_table",
+    "failure_mode_summary",
     "render_trace_report",
     "render_metrics_summary",
 ]
@@ -157,6 +158,39 @@ def trial_latency_table(events: Iterable[Event]) -> str | None:
     )
 
 
+def failure_mode_summary(path: str | Path) -> str | None:
+    """Failure-mode table from the trace's provenance sidecar, or None.
+
+    Tallies the machine-readable prefix of each failed trial's
+    ``detail`` — ``crash`` / ``hang`` (bit flips, message corruption),
+    ``abort`` / ``deadlock`` / ``lost`` (rank fail-stop) — so scenario
+    campaigns report *how* the application died, not just that it did.
+    Returns None when the sidecar is missing or records no failures.
+    """
+    from repro.obs.provenance import load_provenance, provenance_path
+
+    sidecar = provenance_path(path)
+    if not sidecar.exists():
+        return None
+    modes: dict[str, int] = {}
+    for record in load_provenance(sidecar):
+        if record.outcome != "failure":
+            continue
+        mode = record.detail.split(":", 1)[0] if record.detail else "(unspecified)"
+        modes[mode] = modes.get(mode, 0) + 1
+    if not modes:
+        return None
+    total = sum(modes.values())
+    rows = [
+        (mode, count, round(count / total, 3))
+        for mode, count in sorted(modes.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return format_table(
+        ["failure mode", "trials", "share"], rows,
+        title=f"Failure modes ({total} failed trials)",
+    )
+
+
 def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
     events = load_trace(path, on_skip=on_skip)
@@ -177,6 +211,9 @@ def render_trace_report(path: str | Path, on_skip=None) -> str:
                 title=f"Trial outcomes ({n} trials)",
             )
         )
+    failure_modes = failure_mode_summary(path)
+    if failure_modes is not None:
+        sections.append(failure_modes)
     latency = trial_latency_table(events)
     if latency is not None:
         sections.append(latency)

@@ -19,7 +19,7 @@ class TestDocsExist:
     @pytest.mark.parametrize(
         "name", ["fault-model.md", "model.md", "substrate.md", "developer.md",
                  "apps.md", "observability.md", "performance.md", "engine.md",
-                 "adaptive.md"]
+                 "adaptive.md", "scenarios.md"]
     )
     def test_docs_pages(self, name):
         assert (ROOT / "docs" / name).stat().st_size > 500
@@ -83,6 +83,19 @@ class TestDocsReferenceRealCode:
             ROOT / "README.md"
         ).read_text()
 
+    def test_scenarios_doc_names_every_family_and_is_linked(self):
+        from repro.fi.scenarios import SCENARIOS
+
+        text = (ROOT / "docs" / "scenarios.md").read_text()
+        for family in SCENARIOS:
+            assert f"### `{family}`" in text, family
+        # reachable from the README, engine and observability pages
+        assert "docs/scenarios.md" in (ROOT / "README.md").read_text()
+        assert "scenarios.md" in (ROOT / "docs" / "engine.md").read_text()
+        assert "scenarios.md" in (
+            ROOT / "docs" / "observability.md"
+        ).read_text()
+
     def test_documented_cli_flags_exist(self):
         """Flags and subcommands the docs advertise must parse."""
         import io
@@ -96,5 +109,5 @@ class TestDocsReferenceRealCode:
         help_text = buf.getvalue()
         for flag in ("--serve-obs", "--profile", "--trace-out", "--lanes",
                      "--progress", "--metrics-summary", "obs-profile",
-                     "--timeline", "obs-timeline"):
+                     "--timeline", "obs-timeline", "--scenario"):
             assert flag in help_text, flag

@@ -19,7 +19,7 @@ from repro.errors import ConfigurationError, WorkerCrashError
 from repro.fi.cache import cached_campaign
 from repro.fi.campaign import Deployment, default_jobs, run_campaign
 from repro.fi.outcomes import Outcome
-from repro.fi.parallel import MAX_CHUNK_TRIALS, chunk_bounds
+from repro.engine import MAX_CHUNK_TRIALS, chunk_bounds
 
 
 class ParityApp:
