@@ -35,6 +35,16 @@ benchmark asserts it converges with >= 25% fewer trials (deterministic,
 enforced in ``--quick`` mode too) and, outside ``--quick`` mode, that
 ``jobs=2`` reproduces the serial adaptive run bit-for-bit.
 
+The same CG deployment then runs on the distributed backend
+(``--backend distributed:host:port``, see docs/distributed.md) against
+real ``repro-worker`` subprocess pools of 1 and 2 workers — each pool
+serving the campaign twice, cold then warm — recording trials/sec vs
+pool size and the cold-vs-warm per-worker init time under the
+``"distributed"`` key.  Both runs must stay bit-identical to serial and
+the second campaign must find every worker warm (no re-init);
+throughput is recorded but not enforced — on a small runner the socket
+round-trips can eat the parallelism.
+
 Finally the same CG deployment runs once with the hot-path profiler on
 (``--profile``), recording its per-phase attribution, coverage and
 overhead under the ``"profile"`` key of ``BENCH_campaign.json``.  The
@@ -104,6 +114,13 @@ SCENARIO_FAMILIES = ("bitflip", "rankkill", "msgcorrupt")
 # Deterministic — asserted in --quick mode too.
 ADAPTIVE_TARGET = 0.08
 MIN_ADAPTIVE_SAVINGS = 0.25
+
+# The distributed backend's value proposition is warm reuse — the same
+# worker pool serves campaign after campaign without re-unpickling the
+# engine context — so each pool size runs the deployment twice and the
+# second campaign must join every worker warm. Byte-identity to serial
+# is asserted for both runs; trials/sec is recorded only.
+DIST_WORKER_COUNTS = (1, 2)
 
 
 def _time_campaign(
@@ -337,6 +354,126 @@ def _bench_adaptive(quick: bool) -> tuple[dict, bool]:
     return record, ok
 
 
+def _bench_distributed(
+    app, deployment, serial_time: float, serial_joint: dict
+) -> tuple[dict, bool]:
+    """Trials/sec through warm distributed worker pools vs pool size."""
+    import subprocess
+    import tempfile
+
+    from repro.fi.campaign import run_campaign
+    from repro.obs import MemorySink, Recorder, recording
+    from repro.obs.events import WorkerJoined
+
+    trials = deployment.trials
+    print(f"bench_distributed: app={app.name} nprocs={deployment.nprocs} "
+          f"trials={trials} (cold + warm campaign per pool)")
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+
+    def timed_run(sink):
+        with recording(Recorder([sink])):
+            t0 = time.perf_counter()
+            result = run_campaign(
+                app, deployment, backend="distributed:127.0.0.1:0"
+            )
+            return time.perf_counter() - t0, result
+
+    parity_ok = True
+    warm_ok = True
+    times: dict[int, float] = {}
+    cold_inits: list[float] = []
+    warm_inits: list[float] = []
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_DIST_PORT_FILE", "REPRO_DIST_WORKER_TIMEOUT")
+    }
+    try:
+        # fail in a minute, not the default two, if a pool never comes up
+        os.environ["REPRO_DIST_WORKER_TIMEOUT"] = "60"
+        for n in DIST_WORKER_COUNTS:
+            with tempfile.TemporaryDirectory() as tmp:
+                port_file = str(Path(tmp) / "workers.port")
+                os.environ["REPRO_DIST_PORT_FILE"] = port_file
+                workers = [
+                    subprocess.Popen(
+                        [sys.executable, "-m", "repro.engine.distributed",
+                         "--port-file", port_file, "--timeout", "60"],
+                        env=env, stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    )
+                    for _ in range(n)
+                ]
+                try:
+                    cold_sink = MemorySink()
+                    cold_time, cold = timed_run(cold_sink)
+                    warm_sink = MemorySink()
+                    warm_time, warm = timed_run(warm_sink)
+                finally:
+                    for proc in workers:
+                        proc.kill()
+                    for proc in workers:
+                        proc.wait()
+            times[n] = warm_time
+            warm_joins = warm_sink.of(WorkerJoined)
+            cold_inits += [
+                ev.init_s for ev in cold_sink.of(WorkerJoined) if not ev.warm
+            ]
+            warm_inits += [ev.init_s for ev in warm_joins if ev.warm]
+            all_warm = bool(warm_joins) and all(ev.warm for ev in warm_joins)
+            parity = all(
+                r.joint == serial_joint
+                and list(r.joint) == list(serial_joint)
+                for r in (cold, warm)
+            )
+            print(f"  workers={n}  cold {cold_time:7.2f}s  warm "
+                  f"{warm_time:7.2f}s  {trials / warm_time:7.1f} trials/s  "
+                  f"speedup {serial_time / warm_time:.2f}x  parity "
+                  f"{'ok' if parity else 'BROKEN'}  "
+                  f"{'all-warm' if all_warm else 'COLD-RERUN'}")
+            if not parity:
+                print(f"FAIL: distributed joint (workers={n}) diverged "
+                      f"from serial", file=sys.stderr)
+                parity_ok = False
+            if not all_warm:
+                print(f"FAIL: second campaign on the workers={n} pool "
+                      f"re-initialized instead of reusing warm state",
+                      file=sys.stderr)
+                warm_ok = False
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    cold_mean = sum(cold_inits) / max(len(cold_inits), 1)
+    warm_mean = sum(warm_inits) / max(len(warm_inits), 1)
+    print(f"  init: cold {1000 * cold_mean:.0f} ms/worker -> warm "
+          f"{1000 * warm_mean:.2f} ms/worker "
+          f"({len(cold_inits)} cold, {len(warm_inits)} warm joins)")
+    record = {
+        "trials": trials,
+        "workers": list(DIST_WORKER_COUNTS),
+        "times_s": {str(n): round(t, 4) for n, t in times.items()},
+        "trials_per_s": {
+            str(n): round(trials / t, 1) for n, t in times.items()
+        },
+        "speedup_vs_serial": {
+            str(n): round(serial_time / t, 3) for n, t in times.items()
+        },
+        "cold_init_s": round(cold_mean, 4),
+        "warm_init_s": round(warm_mean, 4),
+        "parity_ok": parity_ok,
+        "warm_reuse_ok": warm_ok,
+    }
+    return record, parity_ok and warm_ok
+
+
 def _bench_profile(
     app, deployment, serial_time: float, serial_joint: dict
 ) -> tuple[dict, bool]:
@@ -559,6 +696,10 @@ def main(argv: list[str] | None = None) -> int:
 
     adaptive_record, adaptive_ok = _bench_adaptive(args.quick)
 
+    distributed_record, distributed_ok = _bench_distributed(
+        app, deployment, serial_time, serial_joint
+    )
+
     record = {
         "bench": "campaign",
         "app": "cg",
@@ -581,6 +722,7 @@ def main(argv: list[str] | None = None) -> int:
         "lanes": lanes_record,
         "scenarios": scenarios_record,
         "adaptive": adaptive_record,
+        "distributed": distributed_record,
     }
 
     drift, drift_ok = _check_disabled_drift(
@@ -598,7 +740,7 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     if (not profile_ok or not trace_ok or not lanes_ok
-            or not scenarios_ok or not adaptive_ok):
+            or not scenarios_ok or not adaptive_ok or not distributed_ok):
         return 1
     if not drift_ok:
         return 1

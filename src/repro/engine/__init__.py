@@ -9,8 +9,10 @@ three orthogonal pieces:
 * a :class:`~repro.engine.backends.Backend` — *where* chunks of trials
   execute: in-process (:class:`~repro.engine.backends.InlineBackend`),
   over a spawn-safe worker pool
-  (:class:`~repro.engine.backends.ProcessPoolBackend`), or any future
-  multi-host implementation of the same two-method protocol;
+  (:class:`~repro.engine.backends.ProcessPoolBackend`), or across a
+  warm pool of socket-connected worker processes
+  (:class:`~repro.engine.distributed.DistributedBackend`, the
+  ``distributed:host:port`` spec — see ``docs/distributed.md``);
 * a :class:`~repro.engine.aggregate.ChunkAggregator` — *how* chunk
   payloads fold into campaign aggregates: strictly in chunk order, so
   the result is bit-identical to the serial loop no matter which worker
@@ -31,7 +33,13 @@ from repro.engine.adaptive import (
     worst_case_trials,
 )
 from repro.engine.aggregate import ChunkAggregator
-from repro.engine.backends import Backend, InlineBackend, ProcessPoolBackend
+from repro.engine.backends import (
+    Backend,
+    InlineBackend,
+    ProcessPoolBackend,
+    canonical_backend,
+    planning_jobs,
+)
 from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
 from repro.engine.chunks import (
     MAX_CHUNK_TRIALS,
@@ -42,10 +50,18 @@ from repro.engine.chunks import (
     plan_chunks,
 )
 from repro.engine.core import run_trials, select_backend, write_checkpoint
+from repro.engine.distributed import DistributedBackend, worker_main
+from repro.engine.store import (
+    LocalDirStore,
+    MemoryStore,
+    ResultStore,
+    RetryStore,
+)
 
 __all__ = [
     "AdaptiveStopper",
     "Backend",
+    "DistributedBackend",
     "InlineBackend",
     "ProcessPoolBackend",
     "ChunkAggregator",
@@ -54,12 +70,19 @@ __all__ = [
     "EngineContext",
     "DEFAULT_CHECKPOINT_EVERY",
     "MAX_CHUNK_TRIALS",
+    "LocalDirStore",
+    "MemoryStore",
+    "ResultStore",
+    "RetryStore",
+    "canonical_backend",
     "chunk_bounds",
     "execute_chunk",
     "plan_chunks",
+    "planning_jobs",
     "run_adaptive_trials",
     "run_trials",
     "select_backend",
+    "worker_main",
     "worst_case_trials",
     "write_checkpoint",
 ]

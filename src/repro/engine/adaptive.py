@@ -37,6 +37,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.engine.aggregate import ChunkAggregator
+from repro.engine.backends import canonical_backend, planning_jobs
 from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
 from repro.engine.chunks import ChunkPayload, EngineContext, plan_chunks
 from repro.engine.core import select_backend, write_checkpoint
@@ -221,6 +222,7 @@ def run_adaptive_trials(
     lanes: int = 1,
     checkpoint_every: int | None = None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
     """Run a deployment adaptively; returns the merged ``(joint, records)``.
 
@@ -238,6 +240,8 @@ def run_adaptive_trials(
     :class:`~repro.obs.CampaignConverged` event per campaign.
     """
     obs = get_recorder()
+    backend = canonical_backend(backend)
+    plan_jobs = planning_jobs(backend, jobs)
     cap = deployment.trials
     checkpointing = checkpoint_every is not None or resume
     interval = (
@@ -313,7 +317,8 @@ def run_adaptive_trials(
             # extend the pinned layout: fresh trials chunked per worker,
             # durable progress at least every `interval` trials
             fresh = plan_chunks(
-                boundary - planned_hi, jobs, interval if checkpointing else None
+                boundary - planned_hi, plan_jobs,
+                interval if checkpointing else None,
             )
             pinned.extend(
                 (lo + planned_hi, hi + planned_hi) for lo, hi in fresh
@@ -333,12 +338,14 @@ def run_adaptive_trials(
             else:
                 missing.append(bounds)
         if missing:
-            backend = select_backend(jobs, len(missing), capture=checkpointing)
-            for payload in backend.run(wave_ctx, missing):
+            executor = select_backend(
+                jobs, len(missing), capture=checkpointing, backend=backend
+            )
+            for payload in executor.run(wave_ctx, missing):
                 if store is not None:
                     trials_durable += payload.n_trials
                     write_checkpoint(store, payload, obs, trials_durable)
-                aggregator.add(payload, events_emitted=backend.live_events)
+                aggregator.add(payload, events_emitted=executor.live_events)
                 obs.gauge("campaign.trials_done", aggregator.trials_folded)
         n_done = boundary
         waves += 1

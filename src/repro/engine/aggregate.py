@@ -46,6 +46,7 @@ class ChunkAggregator:
         self.joint: dict[tuple[Outcome, int, bool], int] = {}
         self.records: list[TrialRecord] = []
         self.trials_folded = 0
+        self.duplicate_chunks = 0
 
     def extend(self, chunks: Sequence[tuple[int, int]]) -> None:
         """Append chunks to the layout (adaptive campaigns grow in waves).
@@ -70,10 +71,23 @@ class ChunkAggregator:
         ``events_emitted`` marks payloads whose events already reached
         the live sinks while the chunk ran (inline execution): their
         aggregates are still absorbed, but events are not re-emitted.
+
+        Re-delivery of a chunk that was already folded or buffered is an
+        idempotent no-op (counted in ``duplicate_chunks`` and the
+        ``engine.duplicate_chunks`` obs counter): at-least-once backends
+        — the distributed backend requeues the chunk of a lost worker,
+        and the original worker may still report it — can never
+        double-count a trial.  A chunk that was never part of the layout
+        at all is still a hard error.
         """
-        if payload.bounds not in self._order[self._next:]:
+        bounds = payload.bounds
+        if bounds in self._pending or bounds in self._order[: self._next]:
+            self.duplicate_chunks += 1
+            self._recorder.counter("engine.duplicate_chunks")
+            return
+        if bounds not in self._order[self._next:]:
             raise ValueError(
-                f"unexpected chunk {payload.bounds}: not in the remaining "
+                f"unexpected chunk {bounds}: not in the remaining "
                 f"campaign layout"
             )
         self._pending[payload.bounds] = (payload, events_emitted)

@@ -37,12 +37,69 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Iterator, Protocol, Sequence
 
 from repro.engine.chunks import ChunkPayload, EngineContext, execute_chunk
-from repro.errors import WorkerCrashError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.obs import get_recorder
 
-__all__ = ["Backend", "InlineBackend", "ProcessPoolBackend"]
+__all__ = [
+    "Backend", "InlineBackend", "ProcessPoolBackend", "canonical_backend",
+    "planning_jobs",
+]
 
 Bounds = tuple[int, int]
+
+
+def canonical_backend(spec: str | None) -> str | None:
+    """Validate and canonicalize a backend spec string.
+
+    Accepted forms: ``"inline"``, ``"process"`` (alias ``"pool"``), and
+    ``"distributed:host:port"`` (``port`` 0 binds ephemerally; the
+    controller publishes the bound address — see
+    :mod:`repro.engine.distributed`).  ``None`` means "let
+    ``select_backend`` decide from ``jobs``" and passes through.  Raises
+    :class:`~repro.errors.ConfigurationError` on anything else, so bad
+    ``--backend`` flags and ``$REPRO_BACKEND`` values fail at
+    configuration time, not mid-campaign.
+    """
+    if spec is None:
+        return None
+    text = str(spec).strip()
+    name, _, rest = text.partition(":")
+    name = name.lower()
+    if name == "inline" and not rest:
+        return "inline"
+    if name in ("process", "pool") and not rest:
+        return "process"
+    if name == "distributed":
+        host, _, port_text = rest.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if host and 0 <= port <= 65535:
+            return f"distributed:{host}:{port}"
+        raise ConfigurationError(
+            f"invalid backend spec {text!r}: expected distributed:host:port"
+        )
+    raise ConfigurationError(
+        f"unknown backend {text!r}: expected inline, process, or "
+        f"distributed:host:port"
+    )
+
+
+def planning_jobs(backend: str | None, jobs: int) -> int:
+    """Effective parallelism for chunk planning under a backend spec.
+
+    A distributed campaign with ``jobs`` left at 1 would otherwise plan
+    one giant chunk and serialize the whole worker pool; plan for at
+    least :data:`~repro.engine.distributed.DEFAULT_PLAN_WORKERS`
+    instead.  Safe because chunk layout never affects results — only
+    scheduling and checkpoint granularity (see docs/engine.md).
+    """
+    if backend is not None and backend.startswith("distributed:"):
+        from repro.engine.distributed import DEFAULT_PLAN_WORKERS
+
+        return max(jobs, DEFAULT_PLAN_WORKERS)
+    return jobs
 
 
 class Backend(Protocol):

@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import shutil
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.engine.chunks import ChunkPayload
+from repro.engine.store import LocalDirStore, ResultStore
 from repro.errors import CheckpointCorruptError
 from repro.fi.cache import cache_dir, deployment_key
 from repro.fi.outcomes import Outcome, TrialRecord
@@ -57,12 +57,6 @@ __all__ = ["DEFAULT_CHECKPOINT_EVERY", "CheckpointStore"]
 DEFAULT_CHECKPOINT_EVERY = 50
 
 _CKPT_VERSION = "ckpt-v1"
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(text)
-    tmp.replace(path)
 
 
 # ----------------------------------------------------------------------
@@ -137,13 +131,22 @@ def _deserialize_chunk(blob: dict, start: int, stop: int) -> ChunkPayload:
 
 # ----------------------------------------------------------------------
 class CheckpointStore:
-    """Durable partial results for one campaign execution."""
+    """Durable partial results for one campaign execution.
+
+    Persistence goes through a :class:`~repro.engine.store.ResultStore`
+    (default: a :class:`~repro.engine.store.LocalDirStore` rooted at
+    ``cache_dir()``, which reproduces the historical on-disk layout
+    byte-for-byte).  Point every worker of a multi-host deployment at
+    one shared store and they cooperatively fill the same campaign's
+    checkpoints.
+    """
 
     def __init__(
         self,
         app: "AppProtocol",
         deployment: "Deployment",
         keep_records: bool = False,
+        store: ResultStore | None = None,
     ):
         # keep_records is part of the identity: a checkpoint written
         # without records cannot serve a run that needs them.
@@ -152,32 +155,36 @@ class CheckpointStore:
             f"|records={int(keep_records)}"
         )
         digest = hashlib.sha256(self.key.encode()).hexdigest()[:24]
-        self.dir = (
-            cache_dir() / "checkpoints" / f"{app.name}-{digest}"
+        self.store: ResultStore = (
+            store if store is not None else LocalDirStore(cache_dir())
         )
+        self._prefix = f"checkpoints/{app.name}-{digest}"
+        #: display location (a real directory for the default local store)
+        self.dir = Path(self.store.describe(self._prefix))
 
     # ------------------------------------------------------------------
-    def _meta_path(self) -> Path:
-        return self.dir / "meta.json"
+    def _meta_key(self) -> str:
+        return f"{self._prefix}/meta.json"
 
-    def _chunk_path(self, start: int, stop: int) -> Path:
-        return self.dir / f"chunk-{start:08d}-{stop:08d}.json"
+    def _chunk_key(self, start: int, stop: int) -> str:
+        return f"{self._prefix}/chunk-{start:08d}-{stop:08d}.json"
 
-    def _corrupt(self, path: Path, reason: str, wipe: bool = False) -> None:
+    def _corrupt(self, key: str, reason: str, wipe: bool = False) -> None:
         """Delete the damaged artifact, record the incident, and raise."""
         if wipe:
             self.clear()
         else:
-            path.unlink(missing_ok=True)
+            self.store.delete(key)
+        path = self.store.describe(key)
         obs = get_recorder()
         if obs.enabled:
             obs.counter("checkpoint.corrupt")
-            obs.emit(CacheCorrupt(path=str(path), reason=reason))
+            obs.emit(CacheCorrupt(path=path, reason=reason))
         raise CheckpointCorruptError(
             f"corrupt campaign checkpoint {path}: {reason} — the damaged "
             f"file was removed; rerun to restart cleanly from the "
             f"remaining checkpoints",
-            path=str(path),
+            path=path,
         )
 
     # ------------------------------------------------------------------
@@ -194,7 +201,6 @@ class CheckpointStore:
         first ``planned`` of up to ``trials`` trials.  Omitted (the
         fixed-N driver), the layout must tile the full trial range.
         """
-        self.dir.mkdir(parents=True, exist_ok=True)
         meta: dict = {
             "version": _CKPT_VERSION,
             "key": self.key,
@@ -203,14 +209,13 @@ class CheckpointStore:
         }
         if planned is not None and planned < trials:
             meta["planned"] = planned
-        _atomic_write(self._meta_path(), json.dumps(meta))
+        self.store.put(self._meta_key(), json.dumps(meta).encode())
 
     def write(self, payload: ChunkPayload) -> tuple[Path, int]:
         """Persist one completed chunk; returns ``(path, bytes)``."""
-        path = self._chunk_path(payload.start, payload.stop)
-        text = json.dumps(_serialize_chunk(payload))
-        _atomic_write(path, text)
-        return path, len(text)
+        key = self._chunk_key(payload.start, payload.stop)
+        size = self.store.put(key, json.dumps(_serialize_chunk(payload)).encode())
+        return Path(self.store.describe(key)), size
 
     def load(
         self,
@@ -223,19 +228,22 @@ class CheckpointStore:
         Damaged files raise :class:`~repro.errors.CheckpointCorruptError`
         after being deleted, so the *next* attempt restarts cleanly.
         """
-        meta_path = self._meta_path()
-        if not meta_path.exists():
-            if self.dir.exists():  # chunk files with no manifest: useless
+        meta_key = self._meta_key()
+        raw = self.store.get(meta_key)
+        if raw is None:
+            if self.store.keys(self._prefix):
+                # chunk files with no manifest: useless
                 self.clear()
             return None
         try:
-            meta = json.loads(meta_path.read_text())
+            meta = json.loads(raw)
             version, key = meta["version"], meta["key"]
             trials = int(meta["trials"])
             planned = int(meta.get("planned", trials))
             chunks = [(int(lo), int(hi)) for lo, hi in meta["chunks"]]
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-            self._corrupt(meta_path, f"unreadable manifest ({exc})", wipe=True)
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            self._corrupt(meta_key, f"unreadable manifest ({exc})", wipe=True)
         if version != _CKPT_VERSION or key != self.key:
             # a different campaign or an old schema — not corruption
             self.clear()
@@ -244,23 +252,24 @@ class CheckpointStore:
         flat = [t for lo, hi in covered for t in range(lo, hi)]
         if planned > trials or flat != list(range(planned)):
             self._corrupt(
-                meta_path, "manifest chunks do not tile the planned range",
+                meta_key, "manifest chunks do not tile the planned range",
                 wipe=True,
             )
         payloads: list[ChunkPayload] = []
         for lo, hi in chunks:
-            path = self._chunk_path(lo, hi)
-            if not path.exists():
+            chunk_key = self._chunk_key(lo, hi)
+            raw = self.store.get(chunk_key)
+            if raw is None:
                 continue
             try:
                 payloads.append(
-                    _deserialize_chunk(json.loads(path.read_text()), lo, hi)
+                    _deserialize_chunk(json.loads(raw), lo, hi)
                 )
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
-                    IndexError) as exc:
-                self._corrupt(path, f"unreadable chunk ({exc})")
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                    TypeError, ValueError, IndexError) as exc:
+                self._corrupt(chunk_key, f"unreadable chunk ({exc})")
         return chunks, payloads
 
     def clear(self) -> None:
-        """Delete the whole checkpoint directory (campaign done or stale)."""
-        shutil.rmtree(self.dir, ignore_errors=True)
+        """Wipe this campaign's checkpoints (campaign done or stale)."""
+        self.store.delete_prefix(self._prefix)

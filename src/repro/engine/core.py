@@ -25,8 +25,15 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.engine.aggregate import ChunkAggregator
-from repro.engine.backends import Backend, InlineBackend, ProcessPoolBackend
+from repro.engine.backends import (
+    Backend,
+    InlineBackend,
+    ProcessPoolBackend,
+    canonical_backend,
+    planning_jobs,
+)
 from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY, CheckpointStore
+from repro.engine.distributed import DistributedBackend
 from repro.engine.chunks import ChunkPayload, EngineContext, plan_chunks
 from repro.fi.outcomes import Outcome, TrialRecord
 from repro.obs import CampaignResumed, CheckpointWritten, get_recorder
@@ -72,13 +79,27 @@ def write_checkpoint(store, payload: ChunkPayload, obs, trials_done: int) -> Non
         ))
 
 
-def select_backend(jobs: int, n_chunks: int, capture: bool) -> Backend:
+def select_backend(
+    jobs: int, n_chunks: int, capture: bool, backend: str | None = None
+) -> Backend:
     """The backend for ``n_chunks`` remaining chunks at ``jobs`` workers.
 
-    A pool only pays off with workers to feed and more than one chunk to
-    balance; everything else runs inline (``capture`` = buffer chunk
-    state for the checkpoint store).
+    With no explicit ``backend`` spec the historical heuristic applies:
+    a pool only pays off with workers to feed and more than one chunk
+    to balance; everything else runs inline (``capture`` = buffer chunk
+    state for the checkpoint store).  An explicit spec — ``"inline"``,
+    ``"process"``, or ``"distributed:host:port"`` (see
+    :func:`~repro.engine.backends.canonical_backend`) — overrides the
+    heuristic.
     """
+    spec = canonical_backend(backend)
+    if spec == "inline":
+        return InlineBackend(capture=capture)
+    if spec == "process":
+        return ProcessPoolBackend(max(1, jobs))
+    if spec is not None:  # canonical: "distributed:host:port"
+        host, _, port = spec.partition(":")[2].rpartition(":")
+        return DistributedBackend(host, int(port))
     if jobs > 1 and n_chunks > 1:
         return ProcessPoolBackend(jobs)
     return InlineBackend(capture=capture)
@@ -95,12 +116,14 @@ def run_trials(
     lanes: int = 1,
     checkpoint_every: int | None = None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> tuple[dict[tuple[Outcome, int, bool], int], list[TrialRecord]]:
     """Execute a deployment's trials; returns the merged ``(joint, records)``.
 
     Bit-identical to the classic serial loop for any ``jobs``, any
     ``lanes`` (trials batched per lane-vectorized execution pass —
-    chunk layout stays lanes-invariant), any ``checkpoint_every``, and
+    chunk layout stays lanes-invariant), any ``backend`` spec (inline /
+    process / distributed), any ``checkpoint_every``, and
     any interruption-and-resume pattern in between.  ``checkpoint_every=N`` persists completed chunks of at
     most N trials as they finish; ``resume=True`` first recovers every
     chunk a previous (interrupted) process persisted and re-runs only
@@ -108,6 +131,8 @@ def run_trials(
     :data:`~repro.engine.checkpoint.DEFAULT_CHECKPOINT_EVERY`.
     """
     obs = get_recorder()
+    backend = canonical_backend(backend)
+    plan_jobs = planning_jobs(backend, jobs)
     trials = deployment.trials
     checkpointing = checkpoint_every is not None or resume
     interval = (
@@ -127,7 +152,9 @@ def run_trials(
         else:
             store.clear()  # a fresh run never trusts stale leftovers
     if chunks is None:
-        chunks = plan_chunks(trials, jobs, interval if checkpointing else None)
+        chunks = plan_chunks(
+            trials, plan_jobs, interval if checkpointing else None
+        )
         if store is not None and trials > 0:
             store.begin(trials, chunks)
 
@@ -169,12 +196,14 @@ def run_trials(
             tracing=obs.enabled and obs.tracing,
             trace_ctx=obs.trace_ctx,
         )
-        backend = select_backend(jobs, len(missing), capture=checkpointing)
-        for payload in backend.run(ctx, missing):
+        executor = select_backend(
+            jobs, len(missing), capture=checkpointing, backend=backend
+        )
+        for payload in executor.run(ctx, missing):
             if store is not None:
                 trials_done += payload.n_trials
                 write_checkpoint(store, payload, obs, trials_done)
-            aggregator.add(payload, events_emitted=backend.live_events)
+            aggregator.add(payload, events_emitted=executor.live_events)
             obs.gauge("campaign.trials_done", aggregator.trials_folded)
 
     joint, records = aggregator.finish()

@@ -1,0 +1,638 @@
+"""Distributed campaign execution: a socket work queue + warm workers.
+
+The third :class:`~repro.engine.backends.Backend`: the controller (this
+process, inside the driver) listens on a TCP socket and serves chunk
+work items; ``repro-worker`` processes — on this machine or any machine
+that can reach it — connect, initialize once, and stream chunk payloads
+back.  The driver's :class:`~repro.engine.aggregate.ChunkAggregator`
+folds those payloads in strict chunk order, so joint distributions,
+records, trial events and ``*.provenance.jsonl`` are byte-identical to
+:class:`~repro.engine.backends.InlineBackend` for any worker count or
+join/leave timing (see docs/distributed.md for the exact contract).
+
+Wire protocol — length-prefixed JSON frames
+-------------------------------------------
+
+Every message is a 4-byte big-endian length followed by one UTF-8 JSON
+object.  Binary state (the pickled :class:`EngineContext`, pickled
+:class:`ChunkPayload` results) rides base64-encoded inside the JSON —
+the same pickle transport the process-pool backend uses, framed so a
+partial read, a truncated frame or garbage on the wire is detected
+instead of misparsed.  The conversation::
+
+    worker  -> {"op": "hello", "pid": ..., "digests": [...]}
+    control -> {"op": "init", "digest": D[, "ctx": <base64 pickle>]}
+    worker  -> {"op": "ready", "warm": ..., "init_s": ...}
+    control -> {"op": "chunk", "start": S, "stop": E}       (repeated)
+    worker  -> {"op": "result", "start": S, "stop": E,
+                "payload": <base64 pickle>}                 (repeated)
+    control -> {"op": "done"}
+
+Warm pools: the ``hello`` advertises the content digests of every
+campaign context the worker already holds initialized; the controller
+ships the pickled context only when the worker lacks it.  A worker's
+cache persists across its reconnect loop, so back-to-back campaigns
+with the same identity pay the unpickle cost once per worker, not once
+per campaign (cf. the modelops warm-pool design this follows).
+
+Failure semantics: dispatch is at-least-once.  A worker that
+disconnects (EOF — e.g. SIGKILL), misses its chunk deadline, or sends a
+garbage frame is dropped and its in-flight chunk requeued
+(:class:`~repro.obs.events.ChunkRequeued`); exactly-once *folding* is
+guaranteed by the controller's completed-set and the aggregator's
+duplicate guard.  If every worker is gone and work remains past
+``worker_timeout``, the campaign fails with a typed
+:class:`~repro.errors.WorkerCrashError` naming the first unfinished
+chunk — never a hang.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import hashlib
+import json
+import os
+import pickle
+import selectors
+import socket
+import struct
+import sys
+import time
+import traceback
+from collections import deque
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.engine.chunks import ChunkPayload, EngineContext, execute_chunk
+from repro.errors import DistributedProtocolError, WorkerCrashError
+from repro.obs import get_recorder
+from repro.obs.events import ChunkRequeued, WorkerJoined, WorkerLost
+
+__all__ = [
+    "DistributedBackend",
+    "recv_frame",
+    "send_frame",
+    "worker_main",
+]
+
+Bounds = tuple[int, int]
+
+#: Hard ceiling on one frame's JSON body.  Real frames are the pickled
+#: context (MBs at most); anything larger is garbage on the wire.
+MAX_FRAME_BYTES = 1 << 28
+
+#: Chunk planning under a distributed spec assumes at least this many
+#: workers even when ``jobs`` was left at 1 — one giant chunk would
+#: serialize the whole pool.  Safe because results are chunk-invariant.
+DEFAULT_PLAN_WORKERS = 4
+
+_LEN = struct.Struct(">I")
+
+#: Per-socket timeout for blocking I/O (sends, worker-side receives are
+#: further bounded by the worker's ``--timeout``).
+_IO_TIMEOUT = 30.0
+
+
+def _env_timeout(name: str, default: float) -> float:
+    """A positive float from the environment, or ``default``."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+# --------------------------------------------------------------------------
+# framing
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    body = json.dumps(message, separators=(",", ":")).encode()
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    buf = bytearray()
+    while len(buf) < n:
+        data = sock.recv(n - len(buf))
+        if not data:
+            if buf:
+                raise DistributedProtocolError(
+                    f"connection closed mid-frame ({len(buf)}/{n} bytes)"
+                )
+            return None
+        buf += data
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; None on clean EOF between frames.
+
+    Raises :class:`~repro.errors.DistributedProtocolError` on a
+    truncated frame, an implausible length prefix, or a body that is
+    not a JSON object.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise DistributedProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes "
+            f"(garbage on the wire?)"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise DistributedProtocolError("connection closed before frame body")
+    return _parse_body(bytes(body))
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DistributedProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise DistributedProtocolError(
+            f"frame body is {type(message).__name__}, expected object"
+        )
+    return message
+
+
+class _FrameBuffer:
+    """Incremental frame parser for the controller's non-blocking reads."""
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buf += data
+        frames = []
+        while len(self._buf) >= _LEN.size:
+            (length,) = _LEN.unpack(self._buf[: _LEN.size])
+            if length > MAX_FRAME_BYTES:
+                raise DistributedProtocolError(
+                    f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes "
+                    f"(garbage on the wire?)"
+                )
+            if len(self._buf) < _LEN.size + length:
+                break
+            body = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            frames.append(_parse_body(body))
+        return frames
+
+
+def _pickle_b64(obj) -> str:
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _unpickle_b64(text: str):
+    try:
+        return pickle.loads(base64.b64decode(text, validate=True))
+    except Exception as exc:  # binascii.Error, UnpicklingError, EOFError...
+        raise DistributedProtocolError(f"undecodable payload: {exc}") from exc
+
+
+def _write_port_file(path: str, host: str, port: int) -> None:
+    """Publish the bound address atomically (for shell orchestration)."""
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(f"{host}:{port}\n")
+    os.replace(tmp, target)
+
+
+# --------------------------------------------------------------------------
+# controller
+
+
+class _Worker:
+    """Controller-side connection state for one remote worker."""
+
+    __slots__ = ("sock", "addr", "worker_id", "pid", "state", "chunk",
+                 "deadline", "chunks_done", "warm", "frames")
+
+    def __init__(self, sock, addr, worker_id: int, deadline: float):
+        self.sock = sock
+        self.addr = addr
+        self.worker_id = worker_id
+        self.pid = 0
+        self.state = "handshake"   # handshake -> idle <-> busy
+        self.chunk: Bounds | None = None
+        self.deadline: float | None = deadline
+        self.chunks_done = 0
+        self.warm = False
+        self.frames = _FrameBuffer()
+
+
+class DistributedBackend:
+    """Serve chunks to remote ``repro-worker`` processes over a socket.
+
+    The controller owns no execution — it is a dispatcher: accept
+    workers, hand each idle worker the next queued chunk, fold results
+    as they stream back, and requeue the chunk of any worker that
+    disconnects, stalls past ``chunk_timeout``, or corrupts the wire.
+    Payloads are yielded in completion order (like the process pool);
+    deterministic fold order is the aggregator's job.
+
+    ``port=0`` binds an ephemeral port; the bound address lands in
+    ``self.address`` and, when ``$REPRO_DIST_PORT_FILE`` names a path,
+    in that file (``host:port``) so shell-orchestrated workers can find
+    a controller that chose its own port.
+    """
+
+    live_events = False
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_timeout: float | None = None,
+        worker_timeout: float | None = None,
+    ):
+        self.host = host
+        self.port = port
+        #: a busy worker must report its chunk within this many seconds
+        self.chunk_timeout = (
+            chunk_timeout if chunk_timeout is not None
+            else _env_timeout("REPRO_DIST_CHUNK_TIMEOUT", 300.0)
+        )
+        #: max time with zero connected workers (and for handshakes)
+        self.worker_timeout = (
+            worker_timeout if worker_timeout is not None
+            else _env_timeout("REPRO_DIST_WORKER_TIMEOUT", 120.0)
+        )
+        self.address: tuple[str, int] | None = None
+        #: (warm, init_s) per completed handshake — benchmark fodder
+        self.init_stats: list[tuple[bool, float]] = []
+        self._next_worker_id = 1
+
+    # -- event/counter helpers (no-ops while obs is disabled) --------------
+
+    def _emit_joined(self, worker: _Worker, init_s: float) -> None:
+        rec = get_recorder()
+        rec.counter("distributed.workers_joined")
+        rec.counter(
+            "distributed.warm_inits" if worker.warm
+            else "distributed.cold_inits"
+        )
+        rec.observe("distributed.init_s", init_s)
+        rec.emit(WorkerJoined(
+            worker=worker.worker_id, pid=worker.pid,
+            addr="%s:%s" % worker.addr[:2], warm=worker.warm, init_s=init_s,
+        ))
+
+    def _emit_lost(self, worker: _Worker, reason: str) -> None:
+        rec = get_recorder()
+        if reason != "released":
+            rec.counter("distributed.workers_lost")
+        rec.emit(WorkerLost(
+            worker=worker.worker_id, reason=reason,
+            chunks_done=worker.chunks_done,
+        ))
+
+    def _emit_requeued(self, worker: _Worker, reason: str) -> None:
+        lo, hi = worker.chunk
+        rec = get_recorder()
+        rec.counter("distributed.chunks_requeued")
+        rec.emit(ChunkRequeued(
+            chunk_start=lo, chunk_stop=hi,
+            worker=worker.worker_id, reason=reason,
+        ))
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def run(
+        self, ctx: EngineContext, chunks: Sequence[Bounds]
+    ) -> Iterator[ChunkPayload]:
+        ctx_b64 = _pickle_b64(ctx)
+        # content digest: identical campaign state => warm worker reuse
+        digest = hashlib.sha256(ctx_b64.encode("ascii")).hexdigest()[:24]
+        queue: deque[Bounds] = deque(sorted(chunks))
+        completed: set[Bounds] = set()
+        total = len(queue)
+        workers: dict[int, _Worker] = {}   # fileno -> state
+        sel = selectors.DefaultSelector()
+        server = socket.create_server((self.host, self.port), backlog=16)
+        self.address = server.getsockname()[:2]
+        port_file = os.environ.get("REPRO_DIST_PORT_FILE")
+        if port_file:
+            _write_port_file(port_file, self.address[0], self.address[1])
+        sel.register(server, selectors.EVENT_READ, data=None)
+        no_worker_deadline = time.monotonic() + self.worker_timeout
+
+        def drop(worker: _Worker, reason: str) -> None:
+            """Forget a worker; requeue its in-flight chunk, if any."""
+            if worker.chunk is not None and worker.chunk not in completed:
+                self._emit_requeued(worker, reason)
+                queue.appendleft(worker.chunk)
+            worker.chunk = None
+            self._emit_lost(worker, reason)
+            sel.unregister(worker.sock)
+            del workers[worker.sock.fileno()]
+            worker.sock.close()
+
+        def handle(worker: _Worker, message: dict) -> ChunkPayload | None:
+            op = message.get("op")
+            if op == "hello" and worker.state == "handshake":
+                worker.pid = int(message.get("pid") or 0)
+                worker.warm = digest in message.get("digests", [])
+                init: dict = {"op": "init", "digest": digest}
+                if not worker.warm:
+                    init["ctx"] = ctx_b64
+                send_frame(worker.sock, init)
+                return None
+            if op == "ready" and worker.state == "handshake":
+                worker.state = "idle"
+                worker.deadline = None
+                init_s = float(message.get("init_s") or 0.0)
+                self.init_stats.append((worker.warm, init_s))
+                self._emit_joined(worker, init_s)
+                return None
+            if op == "result" and worker.state == "busy":
+                bounds = (int(message["start"]), int(message["stop"]))
+                if bounds != worker.chunk:
+                    raise DistributedProtocolError(
+                        f"worker {worker.worker_id} reported chunk {bounds}, "
+                        f"expected {worker.chunk}"
+                    )
+                payload = _unpickle_b64(message["payload"])
+                if not isinstance(payload, ChunkPayload):
+                    raise DistributedProtocolError(
+                        f"worker {worker.worker_id} shipped "
+                        f"{type(payload).__name__}, expected ChunkPayload"
+                    )
+                worker.chunk = None
+                worker.state = "idle"
+                worker.deadline = None
+                worker.chunks_done += 1
+                rec = get_recorder()
+                if bounds in completed:
+                    # at-least-once dispatch: another worker already
+                    # reported the requeued chunk — fold exactly once
+                    rec.counter("distributed.duplicate_results")
+                    return None
+                completed.add(bounds)
+                rec.counter("distributed.chunks_completed")
+                return payload
+            if op == "error":
+                lo, hi = worker.chunk if worker.chunk else (None, None)
+                detail = message.get("message", "worker reported an error")
+                raise WorkerCrashError(
+                    f"worker {worker.worker_id} failed while running "
+                    f"{ctx.app.name!r} trials; remote traceback:\n{detail}",
+                    chunk_start=lo, chunk_stop=hi,
+                )
+            raise DistributedProtocolError(
+                f"unexpected {op!r} frame from worker {worker.worker_id} "
+                f"in state {worker.state!r}"
+            )
+
+        try:
+            while len(completed) < total:
+                now = time.monotonic()
+                # deadlines: handshakes and busy chunks must make progress
+                for worker in [w for w in workers.values()
+                               if w.deadline is not None and now > w.deadline]:
+                    drop(worker, "timeout")
+                if workers:
+                    no_worker_deadline = now + self.worker_timeout
+                elif now > no_worker_deadline:
+                    lo, hi = min(b for b in chunks if b not in completed)
+                    raise WorkerCrashError(
+                        f"no workers connected for {self.worker_timeout:.0f}s "
+                        f"with {total - len(completed)} chunk(s) outstanding; "
+                        f"first unfinished chunk covers trials {lo}..{hi - 1} "
+                        f"— start repro-worker processes pointed at "
+                        f"{self.address[0]}:{self.address[1]}, or rerun with "
+                        f"an in-process backend",
+                        chunk_start=lo, chunk_stop=hi,
+                    )
+                for key, _ in sel.select(timeout=0.05):
+                    if key.data is None:     # the listening socket
+                        try:
+                            conn, addr = server.accept()
+                        except OSError:
+                            continue
+                        conn.settimeout(_IO_TIMEOUT)
+                        worker = _Worker(
+                            conn, addr, self._next_worker_id,
+                            time.monotonic() + self.worker_timeout,
+                        )
+                        self._next_worker_id += 1
+                        workers[conn.fileno()] = worker
+                        sel.register(conn, selectors.EVENT_READ, data=worker)
+                        continue
+                    worker = key.data
+                    if worker.sock.fileno() not in workers:
+                        continue             # dropped earlier this round
+                    try:
+                        data = worker.sock.recv(1 << 16)
+                    except (OSError, ValueError):
+                        drop(worker, "disconnect")
+                        continue
+                    if not data:
+                        drop(worker, "disconnect")
+                        continue
+                    try:
+                        for message in worker.frames.feed(data):
+                            payload = handle(worker, message)
+                            if payload is not None:
+                                yield payload
+                    except DistributedProtocolError:
+                        drop(worker, "protocol")
+                        continue
+                # hand every idle worker the next chunk
+                for worker in sorted(
+                    (w for w in workers.values() if w.state == "idle"),
+                    key=lambda w: w.worker_id,
+                ):
+                    if not queue:
+                        break
+                    bounds = queue.popleft()
+                    worker.chunk = bounds
+                    worker.state = "busy"
+                    worker.deadline = time.monotonic() + self.chunk_timeout
+                    try:
+                        send_frame(worker.sock, {
+                            "op": "chunk", "start": bounds[0], "stop": bounds[1],
+                        })
+                    except OSError:
+                        drop(worker, "disconnect")
+        finally:
+            for worker in list(workers.values()):
+                try:
+                    send_frame(worker.sock, {"op": "done"})
+                except OSError:
+                    pass
+                drop(worker, "released")
+            sel.close()
+            server.close()
+
+
+# --------------------------------------------------------------------------
+# worker
+
+
+#: Warm campaign state, keyed by the controller's content digest.  Lives
+#: for the worker process's whole reconnect loop, so sequential
+#: campaigns with identical state skip the unpickle entirely.
+_WARM: dict[str, EngineContext] = {}
+
+
+def _resolve_address(args) -> tuple[str, int] | None:
+    """The controller address, re-read each attempt (ephemeral ports)."""
+    text = None
+    if args.port_file:
+        try:
+            text = Path(args.port_file).read_text().strip()
+        except OSError:
+            return None
+    else:
+        text = args.address
+    if not text:
+        return None
+    host, _, port_text = text.rpartition(":")
+    try:
+        return (host, int(port_text)) if host else None
+    except ValueError:
+        return None
+
+
+def _serve_session(sock: socket.socket) -> bool:
+    """One controller conversation; True when released by ``done``."""
+    send_frame(sock, {
+        "op": "hello", "pid": os.getpid(), "digests": sorted(_WARM),
+    })
+    init = recv_frame(sock)
+    if init is None or init.get("op") != "init":
+        return False
+    digest = init.get("digest", "")
+    t0 = time.perf_counter()
+    if "ctx" in init:
+        try:
+            ctx = _unpickle_b64(init["ctx"])
+        except DistributedProtocolError as exc:
+            # Tell the controller instead of dying silently: a campaign
+            # whose state no worker can unpickle (e.g. an app class from
+            # a module the worker can't import) should fail fast with
+            # the reason, not stall until the worker timeout.
+            send_frame(sock, {
+                "op": "error",
+                "message": f"campaign state failed to unpickle: {exc}",
+            })
+            return False
+        _WARM[digest] = ctx
+        warm = False
+    else:
+        ctx = _WARM.get(digest)
+        if ctx is None:
+            send_frame(sock, {
+                "op": "error",
+                "message": f"no warm state for advertised digest {digest}",
+            })
+            return False
+        warm = True
+    send_frame(sock, {
+        "op": "ready", "warm": warm,
+        "init_s": round(time.perf_counter() - t0, 6),
+    })
+    while True:
+        message = recv_frame(sock)
+        if message is None:
+            return False
+        op = message.get("op")
+        if op == "done":
+            return True
+        if op != "chunk":
+            raise DistributedProtocolError(f"unexpected {op!r} frame")
+        start, stop = int(message["start"]), int(message["stop"])
+        try:
+            payload = execute_chunk(ctx, start, stop, capture=True)
+        except Exception:
+            send_frame(sock, {
+                "op": "error", "start": start, "stop": stop,
+                "message": traceback.format_exc(),
+            })
+            return False
+        send_frame(sock, {
+            "op": "result", "start": start, "stop": stop,
+            "payload": _pickle_b64(payload),
+        })
+
+
+def worker_main(argv: Sequence[str] | None = None) -> int:
+    """The ``repro-worker`` CLI: serve campaigns until idle for too long.
+
+    The worker loops: connect to the controller (from ``address`` or,
+    with ``--port-file``, the file a controller publishes its bound
+    address into — re-read every attempt, so it follows controllers on
+    ephemeral ports), serve one campaign, keep the initialized state
+    warm, reconnect for the next campaign.  It exits 0 after
+    ``--timeout`` seconds without serving anything, or after
+    ``--sessions`` completed campaigns.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Warm campaign worker for the distributed backend.",
+    )
+    parser.add_argument(
+        "address", nargs="?", default=None,
+        help="controller address, host:port",
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="read the controller address from this file (host:port), "
+             "re-read on every reconnect",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="exit after this many seconds without serving a campaign "
+             "(default: 60)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=0, metavar="N",
+        help="exit after N completed campaigns (default: unlimited)",
+    )
+    args = parser.parse_args(argv)
+    if not args.address and not args.port_file:
+        parser.error("an address or --port-file is required")
+
+    served = 0
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        address = _resolve_address(args)
+        if address is None:
+            time.sleep(0.05)
+            continue
+        try:
+            sock = socket.create_connection(address, timeout=5.0)
+        except OSError:
+            time.sleep(0.05)
+            continue
+        sock.settimeout(max(_IO_TIMEOUT, args.timeout))
+        try:
+            released = _serve_session(sock)
+        except (OSError, DistributedProtocolError) as exc:
+            print(f"repro-worker: session failed: {exc}", file=sys.stderr)
+            released = False
+        finally:
+            sock.close()
+        if released:
+            served += 1
+            deadline = time.monotonic() + args.timeout
+            if args.sessions and served >= args.sessions:
+                break
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

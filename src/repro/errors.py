@@ -68,6 +68,20 @@ class WorkerCrashError(ReproError):
         self.chunk_stop = chunk_stop
 
 
+class DistributedProtocolError(ReproError):
+    """A distributed-backend socket frame was malformed or out of order.
+
+    Raised by the framing layer (:mod:`repro.engine.distributed`) on a
+    truncated frame, an implausible length prefix, undecodable JSON or
+    pickle payloads, or a message that violates the hello/init/ready/
+    chunk/result conversation.  The controller treats it as the sending
+    worker's failure: the worker is dropped, its in-flight chunk is
+    requeued, and the campaign continues — the error only propagates to
+    callers using the framing helpers directly (e.g. a worker talking
+    to a broken controller).
+    """
+
+
 class CheckpointCorruptError(ReproError):
     """A campaign checkpoint file failed to parse or validate.
 

@@ -32,6 +32,9 @@ deployment stops as soon as its outcome rates reach the requested 95%
 Wilson half-width (see docs/adaptive.md).  ``--scenario NAME[:k=v,...]``
 selects the fault-scenario family injected per trial — ``bitflip`` (the
 default), ``rankkill``, or ``msgcorrupt`` (see docs/scenarios.md).
+``--backend SPEC`` pins where chunks execute — ``inline``, ``process``,
+or ``distributed:host:port``, a controller socket that ``repro-worker``
+processes connect to (see docs/distributed.md).
 """
 
 from __future__ import annotations
@@ -315,6 +318,14 @@ def main(argv: list[str] | None = None) -> int:
              "or bitflip",
     )
     parser.add_argument(
+        "--backend", metavar="SPEC", default=None,
+        help="execution backend for every campaign: inline, process, or "
+             "distributed:host:port (a controller socket that repro-worker "
+             "processes connect to; port 0 binds ephemerally — see "
+             "docs/distributed.md). Results are bit-identical across "
+             "backends. Default: $REPRO_BACKEND or auto-select from --jobs",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a JSONL observability trace (replay with obs-report)",
     )
@@ -401,6 +412,18 @@ def main(argv: list[str] | None = None) -> int:
         # explicit name so --scenario bitflip still overrides an
         # inherited $REPRO_SCENARIO.
         os.environ["REPRO_SCENARIO"] = canonical or "bitflip"
+
+    if args.backend is not None:
+        from repro.engine.backends import canonical_backend
+        from repro.errors import ConfigurationError
+
+        try:
+            canonical = canonical_backend(args.backend)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        # Same env-var relay as --jobs: every deployment resolves its
+        # execution backend via repro.fi.campaign.default_backend.
+        os.environ["REPRO_BACKEND"] = canonical
 
     serve_port = args.serve_obs
     if serve_port is None:

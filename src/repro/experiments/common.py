@@ -71,6 +71,7 @@ def serial_sample_results(
     app: AppSpec, target_nprocs: int, n_samples: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
     ci_halfwidth: float | None = None, scenario: str | None = None,
+    backend: str | None = None,
 ) -> dict[int, FaultInjectionResult]:
     """FI_ser_x at the sample plan's cases (multi-error serial runs)."""
     plan = SerialSamplePlan(large_nprocs=target_nprocs, n_samples=n_samples)
@@ -80,7 +81,7 @@ def serial_sample_results(
             nprocs=1, trials=trials, n_errors=x, region=Region.COMMON,
             seed=seed + _SEED_SERIAL + x, jobs=jobs,
             checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
-            scenario=scenario,
+            scenario=scenario, backend=backend,
         )
         out[x] = FaultInjectionResult.from_campaign(cached_campaign(app, dep))
     return out
@@ -90,12 +91,13 @@ def small_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
     ci_halfwidth: float | None = None, scenario: str | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Single-error campaign at a small scale (propagation + alpha input)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_SMALL + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
-        ci_halfwidth=ci_halfwidth, scenario=scenario,
+        ci_halfwidth=ci_halfwidth, scenario=scenario, backend=backend,
     )
     return cached_campaign(app, dep)
 
@@ -104,12 +106,13 @@ def measured_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
     ci_halfwidth: float | None = None, scenario: str | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Ground-truth campaign at the target scale (for accuracy figures)."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, seed=seed + _SEED_MEASURED + nprocs,
         jobs=jobs, checkpoint_every=checkpoint_every,
-        ci_halfwidth=ci_halfwidth, scenario=scenario,
+        ci_halfwidth=ci_halfwidth, scenario=scenario, backend=backend,
     )
     return cached_campaign(app, dep)
 
@@ -118,13 +121,14 @@ def unique_campaign(
     app: AppSpec, nprocs: int, trials: int, seed: int = 0,
     jobs: int | None = None, checkpoint_every: int | None = None,
     ci_halfwidth: float | None = None, scenario: str | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Campaign with every error forced into the parallel-unique region."""
     dep = Deployment(
         nprocs=nprocs, trials=trials, region=Region.PARALLEL_UNIQUE,
         seed=seed + _SEED_UNIQUE + nprocs, jobs=jobs,
         checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
-        scenario=scenario,
+        scenario=scenario, backend=backend,
     )
     return cached_campaign(app, dep)
 
@@ -179,6 +183,7 @@ def build_predictor(
     jobs: int | None = None,
     checkpoint_every: int | None = None,
     ci_halfwidth: float | None = None,
+    backend: str | None = None,
 ) -> ResiliencePredictor:
     """Assemble every model input for ``app_name`` and return a predictor.
 
@@ -202,15 +207,18 @@ def build_predictor(
     serial = serial_sample_results(
         app, target_nprocs, n_samples, trials, seed, jobs=jobs,
         checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+        backend=backend,
     )
     small = small_campaign(
         app, small_nprocs, trials, seed, jobs=jobs,
         checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+        backend=backend,
     )
     probe_dep = Deployment(
         nprocs=1, trials=trials, n_errors=small_nprocs, region=Region.COMMON,
         seed=seed + _SEED_SERIAL + small_nprocs, jobs=jobs,
         checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+        backend=backend,
     )
     probe = FaultInjectionResult.from_campaign(cached_campaign(app, probe_dep))
 
@@ -230,6 +238,7 @@ def build_predictor(
             unique_campaign(
                 app, small_nprocs, trials, seed, jobs=jobs,
                 checkpoint_every=checkpoint_every, ci_halfwidth=ci_halfwidth,
+                backend=backend,
             )
         )
 

@@ -7,6 +7,12 @@ aggregate joint distribution and profile summary — everything
 downstream analyses consume — as JSON under ``REPRO_CACHE_DIR``
 (default ``.repro-cache/`` in the working directory).
 
+Persistence goes through the :class:`~repro.engine.store.ResultStore`
+abstraction (a :class:`~repro.engine.store.LocalDirStore` rooted at
+:func:`cache_dir`), the same layer the engine's checkpoint store uses —
+one place owns atomic write-then-rename and corrupt-entry deletion.
+The on-disk layout is unchanged from the pre-store versions.
+
 Set ``REPRO_CACHE=0`` to disable, e.g. while modifying the substrate.
 """
 
@@ -16,6 +22,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.fi.campaign import (
     AppProtocol,
@@ -27,6 +34,9 @@ from repro.fi.campaign import (
 )
 from repro.fi.outcomes import Outcome
 from repro.obs import CacheCorrupt, CacheHit, CacheMiss, CacheWrite, get_recorder
+
+if TYPE_CHECKING:
+    from repro.engine.store import ResultStore
 
 __all__ = [
     "cached_campaign", "cache_dir", "cache_enabled", "deployment_key",
@@ -77,10 +87,18 @@ def deployment_key(deployment: Deployment) -> str:
 _deployment_key = deployment_key
 
 
-def _cache_path(app: AppProtocol, deployment: Deployment) -> Path:
+def _store() -> "ResultStore":
+    # local import: repro.engine imports this module during package init
+    # (checkpoint keying), so the reverse import must not run at load time
+    from repro.engine.store import LocalDirStore
+
+    return LocalDirStore(cache_dir())
+
+
+def _cache_key(app: AppProtocol, deployment: Deployment) -> str:
     key = f"{_CACHE_VERSION}|{app.cache_key()}|{deployment_key(deployment)}"
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
-    return cache_dir() / f"{app.name}-{digest}.json"
+    return f"{app.name}-{digest}.json"
 
 
 def _serialize(result: CampaignResult) -> dict:
@@ -120,22 +138,21 @@ def _deserialize(blob: dict, deployment: Deployment) -> CampaignResult:
 # ----------------------------------------------------------------------
 # parallel-unique profile fractions (one fault-free run per (app, p))
 # ----------------------------------------------------------------------
-def _fractions_path() -> Path:
-    return cache_dir() / "unique_fractions.json"
+_FRACTIONS_KEY = "unique_fractions.json"
 
 
 def _fraction_key(app: AppProtocol, nprocs: int) -> str:
     return f"{_CACHE_VERSION}|{app.cache_key()}|p={nprocs}"
 
 
-def _read_fractions() -> dict:
-    path = _fractions_path()
-    if not path.exists():
+def _read_fractions(store: "ResultStore") -> dict:
+    raw = store.get(_FRACTIONS_KEY)
+    if raw is None:
         return {}
     try:
-        blob = json.loads(path.read_text())
-    except json.JSONDecodeError:
-        path.unlink(missing_ok=True)  # corrupt: recompute and rewrite
+        blob = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        store.delete(_FRACTIONS_KEY)  # corrupt: recompute and rewrite
         return {}
     return blob if isinstance(blob, dict) else {}
 
@@ -153,7 +170,7 @@ def load_unique_fraction(app: AppProtocol, nprocs: int) -> float | None:
         return stats[0]
     if not cache_enabled():
         return None
-    value = _read_fractions().get(_fraction_key(app, nprocs))
+    value = _read_fractions(_store()).get(_fraction_key(app, nprocs))
     return float(value) if isinstance(value, (int, float)) else None
 
 
@@ -169,7 +186,7 @@ def load_unique_fraction_stats(
     """
     if not cache_enabled():
         return None
-    value = _read_fractions().get(_fraction_key(app, nprocs))
+    value = _read_fractions(_store()).get(_fraction_key(app, nprocs))
     if isinstance(value, dict) and "fraction" in value:
         return float(value["fraction"]), int(value.get("candidates", 0))
     return None
@@ -181,15 +198,12 @@ def store_unique_fraction(
     """Persist a measured parallel-unique fraction (atomic rewrite)."""
     if not cache_enabled():
         return
-    blob = _read_fractions()
+    store = _store()
+    blob = _read_fractions(store)
     blob[_fraction_key(app, nprocs)] = {
         "fraction": float(value), "candidates": int(candidates),
     }
-    path = _fractions_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(blob, sort_keys=True))
-    tmp.replace(path)
+    store.put(_FRACTIONS_KEY, json.dumps(blob, sort_keys=True).encode())
 
 
 def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
@@ -208,17 +222,20 @@ def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
     if not cache_enabled():
         return run_campaign(app, deployment)
     obs = get_recorder()
-    path = _cache_path(app, deployment)
-    if path.exists():
-        text = path.read_text()
+    store = _store()
+    key = _cache_key(app, deployment)
+    path = store.describe(key)
+    raw = store.get(key)
+    if raw is not None:
         try:
+            text = raw.decode()
             blob = json.loads(text)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             # delete-and-recompute: never leave a known-bad file behind
-            path.unlink(missing_ok=True)
+            store.delete(key)
             if obs.enabled:
                 obs.counter("cache.corrupt")
-                obs.emit(CacheCorrupt(path=str(path), reason=str(exc)))
+                obs.emit(CacheCorrupt(path=path, reason=str(exc)))
         else:
             try:
                 if blob.get("version") == _CACHE_VERSION:
@@ -226,21 +243,18 @@ def cached_campaign(app: AppProtocol, deployment: Deployment) -> CampaignResult:
                     if obs.enabled:
                         obs.counter("cache.hits")
                         obs.counter("cache.hit_bytes", len(text))
-                        obs.emit(CacheHit(path=str(path), size_bytes=len(text)))
+                        obs.emit(CacheHit(path=path, size_bytes=len(text)))
                     return result
             except (KeyError, ValueError, TypeError):
                 pass  # stale schema: recompute below (overwrites entry)
     if obs.enabled:
         obs.counter("cache.misses")
-        obs.emit(CacheMiss(path=str(path)))
+        obs.emit(CacheMiss(path=path))
     result = run_campaign(app, deployment)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = json.dumps(_serialize(result))
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(payload)
-    tmp.replace(path)
+    size = store.put(key, payload.encode())
     if obs.enabled:
         obs.counter("cache.writes")
-        obs.counter("cache.write_bytes", len(payload))
-        obs.emit(CacheWrite(path=str(path), size_bytes=len(payload)))
+        obs.counter("cache.write_bytes", size)
+        obs.emit(CacheWrite(path=path, size_bytes=size))
     return result

@@ -43,6 +43,7 @@ __all__ = [
     "Deployment", "CampaignResult", "run_campaign", "run_one_trial",
     "default_jobs", "default_lanes", "default_checkpoint_every",
     "default_resume", "default_ci_halfwidth", "default_scenario",
+    "default_backend",
     "with_resolved_ci", "with_resolved_scenario",
     "AppProtocol",
 ]
@@ -177,6 +178,30 @@ def default_scenario() -> str | None:
         return None
 
 
+def default_backend() -> str | None:
+    """Execution backend: ``$REPRO_BACKEND``, falling back to auto-select.
+
+    None lets :func:`~repro.engine.core.select_backend` pick from
+    ``jobs`` (the classic heuristic).  Specs are ``inline``, ``process``,
+    or ``distributed:host:port`` (see :mod:`repro.engine.distributed`);
+    a malformed spec warns once on stderr and leaves auto-selection in
+    place rather than aborting an otherwise valid run.
+    """
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None or raw.strip() == "":
+        return None
+    from repro.engine.backends import canonical_backend  # circular at import
+
+    try:
+        return canonical_backend(raw)
+    except ConfigurationError as exc:
+        print(
+            f"repro: warning: ignoring REPRO_BACKEND={raw!r}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
 class AppProtocol(Protocol):
     """What the campaign driver needs from an application."""
 
@@ -217,6 +242,10 @@ class Deployment:
     scenario: str | None = None         # fault-scenario spec (see
                                         # repro.fi.scenarios); None =
                                         # $REPRO_SCENARIO, else bit flips
+    backend: str | None = None          # execution backend spec (inline /
+                                        # process / distributed:host:port);
+                                        # None = $REPRO_BACKEND, else
+                                        # auto-select from jobs
 
     def __post_init__(self) -> None:
         check_positive_int(self.nprocs, "nprocs")
@@ -242,6 +271,12 @@ class Deployment:
             # normalize to None) so equal configurations compare equal
             # and derive identical cache/checkpoint identities
             object.__setattr__(self, "scenario", canonical_scenario(self.scenario))
+        if self.backend is not None:
+            # validate eagerly so a bad spec fails at construction, not
+            # mid-campaign; lazy import — the engine imports this module
+            from repro.engine.backends import canonical_backend
+
+            object.__setattr__(self, "backend", canonical_backend(self.backend))
 
     @property
     def effective_target_rank(self) -> int | None:
@@ -379,6 +414,22 @@ def _resolve_checkpoint_every(
     return check_positive_int(checkpoint_every, "checkpoint_every")
 
 
+def _resolve_backend(backend: str | None, deployment: Deployment) -> str | None:
+    """Backend spec precedence: call arg > ``Deployment.backend`` > env.
+
+    Purely an execution knob — like ``jobs`` it never changes results,
+    so (unlike the precision target and the scenario) it stays out of
+    cache keys and checkpoint identities.
+    """
+    if backend is not None:
+        from repro.engine.backends import canonical_backend
+
+        return canonical_backend(backend)
+    if deployment.backend is not None:
+        return deployment.backend  # canonicalized at construction
+    return default_backend()
+
+
 def with_resolved_ci(
     deployment: Deployment, ci_halfwidth: float | None = None
 ) -> Deployment:
@@ -437,6 +488,7 @@ def run_campaign(
     resume: bool | None = None,
     ci_halfwidth: float | None = None,
     scenario: str | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Run a full fault-injection deployment for ``app``.
 
@@ -473,6 +525,13 @@ def run_campaign(
     above, except that only the bit-flip family supports lane batching
     — other families fall back to the scalar path with a one-line
     warning.
+
+    ``backend`` pins *where* chunks execute — ``"inline"``,
+    ``"process"``, or ``"distributed:host:port"`` (a controller socket
+    that warm worker processes connect to; see ``docs/distributed.md``)
+    — overriding the jobs-based auto-selection.  Another pure execution
+    knob: results stay bit-identical across backends, worker counts and
+    worker churn.
     """
     deployment = with_resolved_scenario(
         with_resolved_ci(deployment, ci_halfwidth), scenario
@@ -489,6 +548,7 @@ def run_campaign(
         n_lanes = 1
     ckpt_every = _resolve_checkpoint_every(checkpoint_every, deployment)
     do_resume = default_resume() if resume is None else resume
+    backend_spec = _resolve_backend(backend, deployment)
     obs = get_recorder()
     # the recorder accumulates across campaigns, so the profiler scopes
     # this campaign's span/op deltas (emitted as one CampaignProfile)
@@ -548,6 +608,7 @@ def run_campaign(
                     target=deployment.ci_halfwidth,
                     keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
                     checkpoint_every=ckpt_every, resume=do_resume,
+                    backend=backend_spec,
                 )
             else:
                 from repro.engine import run_trials
@@ -556,6 +617,7 @@ def run_campaign(
                     app, deployment, profile, reference,
                     keep_records=keep_records, jobs=n_jobs, lanes=n_lanes,
                     checkpoint_every=ckpt_every, resume=do_resume,
+                    backend=backend_spec,
                 )
             injection_time = time.perf_counter() - t1
     finally:

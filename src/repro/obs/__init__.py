@@ -50,6 +50,9 @@ from repro.obs.events import (
     SpanEnd,
     TrialFinished,
     TrialProvenance,
+    WorkerJoined,
+    WorkerLost,
+    ChunkRequeued,
     event_from_dict,
 )
 from repro.obs.live import (
@@ -120,7 +123,8 @@ __all__ = [
     "CampaignTrace", "CheckpointWritten", "TrialFinished",
     "FaultInjected", "RankKilled", "MessageCorrupted",
     "CacheHit", "CacheMiss", "CacheWrite", "CacheCorrupt",
-    "SchedulerDeadlock", "SpanEnd", "TrialProvenance", "event_from_dict",
+    "SchedulerDeadlock", "SpanEnd", "TrialProvenance",
+    "WorkerJoined", "WorkerLost", "ChunkRequeued", "event_from_dict",
     # provenance
     "FaultProvenance", "FlipObservation", "load_provenance", "provenance_path",
     # confidence

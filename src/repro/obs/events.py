@@ -34,6 +34,9 @@ __all__ = [
     "CacheCorrupt",
     "SchedulerDeadlock",
     "SpanEnd",
+    "WorkerJoined",
+    "WorkerLost",
+    "ChunkRequeued",
     "EVENT_TYPES",
     "event_from_dict",
 ]
@@ -353,6 +356,64 @@ class SpanEnd(Event):
     duration_s: float
 
 
+@dataclass(frozen=True)
+class WorkerJoined(Event):
+    """A remote campaign worker connected and initialized.
+
+    Emitted by the distributed backend's controller
+    (:mod:`repro.engine.distributed`) once a worker finishes its
+    handshake.  ``warm`` says whether the worker already held this
+    campaign's initialized state from a previous campaign (warm pool
+    hit) or had to unpickle it cold; ``init_s`` is the worker-reported
+    initialization time.  Worker-lifecycle events describe *where* work
+    ran, never *what* it computed — they carry pids and wall-clock
+    durations and are deliberately outside the byte-identity contract
+    (see docs/distributed.md).
+    """
+
+    type: ClassVar[str] = "worker_joined"
+
+    worker: int           # controller-assigned id, stable for the session
+    pid: int              # worker process id (0 when unreported)
+    addr: str             # remote address, host:port
+    warm: bool
+    init_s: float
+
+
+@dataclass(frozen=True)
+class WorkerLost(Event):
+    """A remote campaign worker left the pool.
+
+    ``reason`` is ``"released"`` for a graceful end-of-campaign release,
+    otherwise the failure class: ``"disconnect"`` (EOF / connection
+    reset — e.g. a SIGKILLed worker), ``"timeout"`` (missed its chunk
+    deadline), or ``"protocol"`` (sent a garbage frame).
+    """
+
+    type: ClassVar[str] = "worker_lost"
+
+    worker: int
+    reason: str
+    chunks_done: int      # chunks this worker completed before leaving
+
+
+@dataclass(frozen=True)
+class ChunkRequeued(Event):
+    """A dispatched chunk was returned to the work queue.
+
+    Emitted when the worker holding the chunk was lost before reporting
+    it.  Dispatch is at-least-once; the aggregator's duplicate guard
+    makes folding exactly-once, so a requeue can never double-count.
+    """
+
+    type: ClassVar[str] = "chunk_requeued"
+
+    chunk_start: int
+    chunk_stop: int
+    worker: int           # the worker that lost it
+    reason: str           # same classes as WorkerLost.reason
+
+
 #: type tag -> event class, for trace replay.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.type: cls
@@ -362,7 +423,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         CheckpointWritten, TrialFinished, FaultInjected, RankKilled,
         MessageCorrupted, TrialProvenance,
         CacheHit, CacheMiss, CacheWrite, CacheCorrupt, SchedulerDeadlock,
-        SpanEnd,
+        SpanEnd, WorkerJoined, WorkerLost, ChunkRequeued,
     )
 }
 

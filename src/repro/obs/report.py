@@ -18,9 +18,12 @@ from repro.obs.events import (
     CampaignConverged,
     CampaignResumed,
     CheckpointWritten,
+    ChunkRequeued,
     Event,
     SpanEnd,
     TrialFinished,
+    WorkerJoined,
+    WorkerLost,
 )
 from repro.obs.recorder import Recorder
 from repro.obs.sinks import load_trace
@@ -33,6 +36,7 @@ __all__ = [
     "convergence_summary",
     "trial_latency_table",
     "failure_mode_summary",
+    "worker_summary",
     "render_trace_report",
     "render_metrics_summary",
 ]
@@ -191,6 +195,47 @@ def failure_mode_summary(path: str | Path) -> str | None:
     )
 
 
+def worker_summary(events: Iterable[Event]) -> str | None:
+    """Distributed-worker lifecycle table, or None for local traces.
+
+    One row per worker the controller ever admitted
+    (:class:`~repro.obs.events.WorkerJoined`): pid, whether its
+    initialization was a warm-pool hit, chunks completed, chunks
+    requeued after losing it, and how it left — ``released`` for a
+    graceful end-of-campaign goodbye, or the loss reason
+    (``disconnect`` / ``timeout`` / ``protocol``) in upper case.
+    """
+    joined = [e for e in events if isinstance(e, WorkerJoined)]
+    if not joined:
+        return None
+    lost = {e.worker: e for e in events if isinstance(e, WorkerLost)}
+    requeues: dict[int, int] = {}
+    for e in events:
+        if isinstance(e, ChunkRequeued):
+            requeues[e.worker] = requeues.get(e.worker, 0) + 1
+    rows = []
+    for e in joined:
+        exit_event = lost.get(e.worker)
+        if exit_event is None:
+            status = "active"
+        elif exit_event.reason == "released":
+            status = "released"
+        else:
+            status = exit_event.reason.upper()
+        rows.append((
+            e.worker,
+            e.pid,
+            "warm" if e.warm else f"cold ({1000.0 * e.init_s:.0f} ms)",
+            exit_event.chunks_done if exit_event is not None else "",
+            requeues.get(e.worker, 0),
+            status,
+        ))
+    return format_table(
+        ["worker", "pid", "init", "chunks", "requeued", "status"],
+        rows, title=f"Workers ({len(joined)} joined)",
+    )
+
+
 def render_trace_report(path: str | Path, on_skip=None) -> str:
     """Full obs-report text for one JSONL trace file."""
     events = load_trace(path, on_skip=on_skip)
@@ -217,6 +262,9 @@ def render_trace_report(path: str | Path, on_skip=None) -> str:
     latency = trial_latency_table(events)
     if latency is not None:
         sections.append(latency)
+    workers = worker_summary(events)
+    if workers is not None:
+        sections.append(workers)
     checkpoints = checkpoint_summary(events)
     if checkpoints is not None:
         sections.append(checkpoints)

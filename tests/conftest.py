@@ -15,7 +15,11 @@ from repro.taint.tracer_api import Operand
 
 # Helper modules under tests/ that child processes run directly; excluded
 # from collection explicitly, not just by naming convention.
-collect_ignore = ["unit/engine_child.py", "unit/adaptive_child.py"]
+collect_ignore = [
+    "unit/engine_child.py",
+    "unit/adaptive_child.py",
+    "unit/distributed_child.py",
+]
 
 
 @pytest.fixture(autouse=True)

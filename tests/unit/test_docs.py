@@ -19,7 +19,7 @@ class TestDocsExist:
     @pytest.mark.parametrize(
         "name", ["fault-model.md", "model.md", "substrate.md", "developer.md",
                  "apps.md", "observability.md", "performance.md", "engine.md",
-                 "adaptive.md", "scenarios.md"]
+                 "adaptive.md", "scenarios.md", "distributed.md"]
     )
     def test_docs_pages(self, name):
         assert (ROOT / "docs" / name).stat().st_size > 500
@@ -96,6 +96,21 @@ class TestDocsReferenceRealCode:
             ROOT / "docs" / "observability.md"
         ).read_text()
 
+    def test_distributed_doc_covers_protocol_and_is_linked(self):
+        text = (ROOT / "docs" / "distributed.md").read_text()
+        for piece in ("## Wire protocol", "## Warm worker pools",
+                      "## Determinism contract", "## Failure semantics",
+                      "repro-worker", "REPRO_DIST_CHUNK_TIMEOUT",
+                      "REPRO_DIST_WORKER_TIMEOUT", "REPRO_DIST_PORT_FILE",
+                      "ResultStore"):
+            assert piece in text, piece
+        # reachable from the engine, performance and README pages
+        assert "distributed.md" in (ROOT / "docs" / "engine.md").read_text()
+        assert "distributed.md" in (
+            ROOT / "docs" / "performance.md"
+        ).read_text()
+        assert "docs/distributed.md" in (ROOT / "README.md").read_text()
+
     def test_documented_cli_flags_exist(self):
         """Flags and subcommands the docs advertise must parse."""
         import io
@@ -109,5 +124,5 @@ class TestDocsReferenceRealCode:
         help_text = buf.getvalue()
         for flag in ("--serve-obs", "--profile", "--trace-out", "--lanes",
                      "--progress", "--metrics-summary", "obs-profile",
-                     "--timeline", "obs-timeline", "--scenario"):
+                     "--timeline", "obs-timeline", "--scenario", "--backend"):
             assert flag in help_text, flag
